@@ -1,0 +1,36 @@
+"""Figure 10: energy efficiency relative to multicore CPU on the desktop.
+
+Paper shape targets: average savings ~1.69x even though average speedup is
+~1x; BFS/Raytracer/SkipList/BTree save the most (2.94/3.52/2.27/2.43x);
+FaceDetect is the worst; BarnesHut still saves energy (~1.48x) despite
+being 47% slower — the paper's headline performance/energy discrepancy.
+"""
+
+from conftest import run_once
+
+from repro.eval import figure9, figure10
+
+
+def test_fig10_desktop_energy(benchmark, scale):
+    fig = run_once(benchmark, lambda: figure10(scale))
+    print()
+    print(fig.render())
+
+    savings = dict(zip(fig.labels, fig.series["GPU+ALL"]))
+    averages = fig.averages()
+
+    # Average well above 1 despite parity performance (paper 1.69x).
+    assert 1.2 <= averages["GPU+ALL"] <= 2.6, averages
+    # Raytracer among the biggest savers (paper 3.52x).
+    ranked = sorted(savings, key=savings.get, reverse=True)
+    assert "Raytracer" in ranked[:2], savings
+    # FaceDetect among the worst for energy (paper: < 1x).
+    worst = sorted(savings, key=savings.get)
+    assert "FaceDetect" in worst[:3], savings
+
+    # The BarnesHut discrepancy: slower on the GPU yet MORE energy
+    # efficient (paper: 47% slower, 48% more efficient).
+    perf = figure9(scale)
+    bh_speedup = dict(zip(perf.labels, perf.series["GPU+ALL"]))["BarnesHut"]
+    assert bh_speedup < 1.0
+    assert savings["BarnesHut"] > 1.0

@@ -1,0 +1,27 @@
+"""Figure 6: percent of IR operations that are control-flow and memory
+related.  Paper shape: many workloads exceed 25% control+memory (more than
+one in four IR instructions); Raytracer is among the least irregular."""
+
+from conftest import run_once
+
+from repro.eval import figure6_mixes, format_figure6
+
+
+def test_fig6(benchmark, scale):
+    mixes = run_once(benchmark, figure6_mixes)
+    print()
+    print(format_figure6())
+
+    assert len(mixes) == 9
+    irregularity = {name: mix.irregularity_pct for name, mix in mixes.items()}
+    # "more than 25%" for the irregular majority
+    above = [name for name, pct in irregularity.items() if pct > 25.0]
+    assert len(above) >= 7, irregularity
+    # Raytracer among the three least control+memory heavy (paper: the
+    # least irregular workload, hence the best GPU performer)
+    ranked = sorted(irregularity, key=irregularity.get)
+    assert "Raytracer" in ranked[:3], ranked
+    # sanity: categories sum to 100%
+    for mix in mixes.values():
+        total = mix.control_pct + mix.memory_pct + mix.remaining_pct
+        assert abs(total - 100.0) < 1e-6

@@ -1,0 +1,42 @@
+"""Figure 7: runtime performance relative to multicore CPU on the
+Ultrabook (i7-4650U + HD Graphics 5000), four GPU configurations.
+
+Paper shape targets: every workload at or above ~1x, Raytracer the clear
+winner (paper: 9.88x), average ~2.5x, PTROPT helping Raytracer and
+FaceDetect the most.
+"""
+
+from conftest import run_once
+
+from repro.eval import figure7, geomean
+
+
+def test_fig7_ultrabook_speedup(benchmark, scale):
+    fig = run_once(benchmark, lambda: figure7(scale))
+    print()
+    print(fig.render())
+
+    averages = fig.averages()
+    speedups = dict(zip(fig.labels, fig.series["GPU+ALL"]))
+
+    # Raytracer is the top performer, well clear of the pack.
+    assert max(speedups, key=speedups.get) == "Raytracer"
+    assert speedups["Raytracer"] > 2.0 * geomean(
+        v for k, v in speedups.items() if k != "Raytracer"
+    ) * 0.7
+    # Average in the paper's ballpark (2.5x): allow a generous band.
+    assert 1.5 <= averages["GPU+ALL"] <= 4.5, averages
+    # All workloads benefit on the Ultrabook (paper: 1.11x minimum).
+    assert min(speedups.values()) >= 1.0, speedups
+    # PTROPT is a consistent improvement on average (paper: 1.06x).
+    assert averages["GPU+PTROPT"] >= averages["GPU"] * 1.01
+    # FaceDetect and Raytracer are among the biggest PTROPT beneficiaries
+    # (paper: 1.13x and 1.21x respectively on the Ultrabook).
+    gains = {
+        name: with_ptropt / baseline
+        for name, baseline, with_ptropt in zip(
+            fig.labels, fig.series["GPU"], fig.series["GPU+PTROPT"]
+        )
+    }
+    ranked = sorted(gains, key=gains.get, reverse=True)
+    assert "FaceDetect" in ranked[:3] or "Raytracer" in ranked[:3], gains

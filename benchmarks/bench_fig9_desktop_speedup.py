@@ -1,0 +1,35 @@
+"""Figure 9: runtime performance relative to multicore CPU on the desktop
+(i7-4770 + HD Graphics 4600).
+
+Paper shape targets: GPU execution is on average no faster than the
+quad-core CPU (~1% benefit); BarnesHut is distinctly slower on the GPU
+(paper: 0.53x, i.e. 47% slower); PTROPT averages ~1.09x.
+"""
+
+from conftest import run_once
+
+from repro.eval import figure9, geomean
+
+
+def test_fig9_desktop_speedup(benchmark, scale):
+    fig = run_once(benchmark, lambda: figure9(scale))
+    print()
+    print(fig.render())
+
+    speedups = dict(zip(fig.labels, fig.series["GPU+ALL"]))
+    averages = fig.averages()
+
+    # The desktop CPU catches up: average near parity (paper ~1.01x).
+    assert 0.8 <= averages["GPU+ALL"] <= 1.8, averages
+    # BarnesHut runs slower on the GPU (paper 0.53x).
+    assert speedups["BarnesHut"] < 1.0, speedups
+    # BarnesHut is among the worst workloads for desktop GPU performance
+    # (the strict minimum at full scale; ClothPhysics can dip below it at
+    # reduced benchmark scales).
+    worst_two = sorted(speedups, key=speedups.get)[:2]
+    assert "BarnesHut" in worst_two, speedups
+    # Raytracer still the best (least irregular).
+    assert max(speedups, key=speedups.get) == "Raytracer"
+    # PTROPT helps on average (paper 1.09x).
+    ptropt_gain = averages["GPU+PTROPT"] / averages["GPU"]
+    assert ptropt_gain >= 1.02, ptropt_gain

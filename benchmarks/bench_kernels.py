@@ -1,0 +1,81 @@
+"""Library performance benchmarks (wall-clock of this reproduction itself,
+not simulated time): frontend+pipeline compile cost per workload and
+simulation throughput of the two device paths.
+
+These are ordinary pytest-benchmark measurements with multiple rounds —
+useful for tracking regressions in the compiler and simulator.
+"""
+
+import warnings
+
+import pytest
+
+from repro.passes import OptConfig
+from repro.runtime import ConcordRuntime, compile_source, ultrabook
+from repro.workloads import all_workloads
+
+WORKLOADS = all_workloads()
+
+
+@pytest.mark.parametrize("name", ["BFS", "Raytracer", "FaceDetect"])
+def test_compile_time(benchmark, name):
+    """Full pipeline: parse -> sema -> lower -> optimize -> device-lower
+    -> OpenCL emission, uncached."""
+    cls = WORKLOADS[name]
+
+    def compile_uncached():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            return compile_source(cls.source, OptConfig.gpu_all())
+
+    program = benchmark(compile_uncached)
+    assert program.kernels
+
+
+def test_gpu_simulation_throughput(benchmark):
+    """Simulated-GPU work-items per second of the interpreter+timing
+    stack, on the BTree search kernel."""
+    cls = WORKLOADS["BTree"]
+    workload = cls()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        rt = cls.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.3)
+
+    def launch():
+        return workload.run(rt, state, on_cpu=False)
+
+    reports = benchmark.pedantic(launch, rounds=3, iterations=1)
+    assert reports[0].device == "gpu"
+
+
+def test_cpu_simulation_throughput(benchmark):
+    cls = WORKLOADS["BTree"]
+    workload = cls()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        rt = cls.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.3)
+
+    def launch():
+        return workload.run(rt, state, on_cpu=True)
+
+    reports = benchmark.pedantic(launch, rounds=3, iterations=1)
+    assert reports[0].device == "cpu"
+
+
+def test_svm_allocator_throughput(benchmark):
+    from repro.svm import SharedAllocator, SharedRegion
+
+    def churn():
+        region = SharedRegion(1 << 20)
+        alloc = SharedAllocator(region)
+        addresses = [alloc.malloc(64) for _ in range(1000)]
+        for address in addresses[::2]:
+            alloc.free(address)
+        for _ in range(500):
+            addresses.append(alloc.malloc(48))
+        return alloc
+
+    alloc = benchmark(churn)
+    assert alloc.live_bytes > 0

@@ -1,0 +1,29 @@
+"""Section 5.4: overhead of the software SVM implementation.
+
+Concord's pointer-based Raytracer vs a hand-flattened OpenCL-1.2-style
+comparator (scene graph flattened to arrays with integer offsets), across
+image sizes.  Paper: negligible overhead for small images, only ~6% at the
+largest size.
+"""
+
+from conftest import run_once
+
+from repro.eval import format_svm_overhead, measure_svm_overhead
+
+
+def test_svm_overhead(benchmark, scale):
+    scales = tuple(scale * f for f in (0.5, 1.0, 1.6, 2.4))
+    points = run_once(benchmark, lambda: measure_svm_overhead(scales=scales))
+    print()
+    print(format_svm_overhead(points))
+
+    # Overhead stays small at every size (paper: <= ~6% at the largest;
+    # ours runs a few points higher because the devirtualized compare
+    # chains execute on the simulated EU at full instruction cost).
+    for point in points:
+        assert point.overhead_pct < 16.0, (
+            point.width, point.height, point.overhead_pct,
+        )
+    # ... and is bounded at the largest image in particular.
+    largest = max(points, key=lambda p: p.width * p.height)
+    assert largest.overhead_pct <= 12.0, largest.overhead_pct

@@ -1,0 +1,30 @@
+"""Table 1: workload characteristics (origins, input sizes, LoC, device
+LoC, data structures, parallel constructs)."""
+
+from conftest import run_once
+
+from repro.eval import format_table1, table1_rows
+
+
+def test_table1(benchmark, scale):
+    rows = run_once(benchmark, lambda: table1_rows(scale))
+    print()
+    print(format_table1(scale))
+
+    by_name = {r.benchmark: r for r in rows}
+    assert len(rows) == 9
+    # paper-matching metadata
+    assert by_name["BFS"].origin == "Galois"
+    assert by_name["BTree"].origin == "Rodinia"
+    assert by_name["FaceDetect"].origin == "OpenCV"
+    assert by_name["ClothPhysics"].parallel_construct == "parallel reduce hetero"
+    assert all(
+        r.parallel_construct == "parallel for hetero"
+        for r in rows
+        if r.benchmark != "ClothPhysics"
+    )
+    assert by_name["BarnesHut"].data_structure == "tree"
+    assert by_name["SkipList"].data_structure == "linked-list"
+    # ClothPhysics is the largest workload in the paper; ours too
+    assert by_name["ClothPhysics"].device_loc >= 30
+    assert all(r.device_loc <= r.loc for r in rows)

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each module regenerates one table or figure from the paper's evaluation.
+``REPRO_BENCH_SCALE`` (default 0.4) scales the workload inputs: figures are
+ratio-based, so their shape is stable across scales, while wall-clock cost
+grows steeply (the simulator interprets every work-item).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import os
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Time one full regeneration (figures are deterministic; re-running
+    them only re-reads the in-process measurement cache)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

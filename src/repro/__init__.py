@@ -1,0 +1,44 @@
+"""Reproduction of "Efficient Mapping of Irregular C++ Applications to
+Integrated GPUs" (Concord, CGO 2014).
+
+Public API highlights:
+
+>>> from repro import compile_source, ConcordRuntime, OptConfig, ultrabook
+>>> program = compile_source(cpp_source, OptConfig.gpu_all())
+>>> rt = ConcordRuntime(program, ultrabook())
+>>> body = rt.new("LoopBody", args)
+>>> report = rt.parallel_for_hetero(n, body)
+
+Subpackages: ``minicpp`` (frontend), ``ir`` (SSA IR), ``passes``
+(optimizations incl. PTROPT/L3OPT), ``svm`` (software shared virtual
+memory), ``runtime`` (offload + parallel constructs), ``gpu``/``cpu``
+(device models), ``workloads`` (the nine paper benchmarks), ``eval``
+(table/figure regeneration).
+"""
+
+from .passes import OptConfig
+from .runtime import (
+    CompiledProgram,
+    ConcordRuntime,
+    ConcordWarning,
+    ExecutionReport,
+    System,
+    compile_source,
+    desktop,
+    ultrabook,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CompiledProgram",
+    "ConcordRuntime",
+    "ConcordWarning",
+    "ExecutionReport",
+    "OptConfig",
+    "System",
+    "__version__",
+    "compile_source",
+    "desktop",
+    "ultrabook",
+]

@@ -1,0 +1,124 @@
+"""Command-line compiler driver.
+
+Usage::
+
+    python -m repro compile FILE.cpp [--config GPU|GPU+PTROPT|GPU+L3OPT|GPU+ALL]
+                                      [--emit ir|opencl|stats|kernels]
+    python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
+
+``compile`` parses and compiles a MiniC++ translation unit and prints the
+requested artifact for every heterogeneous body class found.  ``run``
+additionally executes a kernel over a zero-initialized body (useful for
+smoke-testing kernels whose body needs no host setup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import kernel_mix
+from .ir import format_function
+from .passes import OptConfig
+from .runtime import ConcordRuntime, compile_source, desktop, ultrabook
+
+CONFIGS = {
+    "GPU": OptConfig.gpu,
+    "GPU+PTROPT": OptConfig.gpu_ptropt,
+    "GPU+L3OPT": OptConfig.gpu_l3opt,
+    "GPU+ALL": OptConfig.gpu_all,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = sub.add_parser("compile", help="compile a MiniC++ file")
+    compile_parser.add_argument("file")
+    compile_parser.add_argument("--config", choices=sorted(CONFIGS), default="GPU+ALL")
+    compile_parser.add_argument(
+        "--emit", choices=["ir", "opencl", "stats", "kernels"], default="opencl"
+    )
+
+    run_parser = sub.add_parser("run", help="compile and execute one kernel")
+    run_parser.add_argument("file")
+    run_parser.add_argument("--body", required=True, help="body class name")
+    run_parser.add_argument("--n", type=int, default=16)
+    run_parser.add_argument("--on-cpu", action="store_true")
+    run_parser.add_argument("--config", choices=sorted(CONFIGS), default="GPU+ALL")
+    run_parser.add_argument(
+        "--system", choices=["ultrabook", "desktop"], default="ultrabook"
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        with open(args.file) as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: cannot read {args.file}: {exc.strerror}", file=sys.stderr)
+        return 1
+    config = CONFIGS[args.config]()
+    from .minicpp import LexError, LowerError, ParseError, SemaError
+
+    try:
+        program = compile_source(source, config)
+    except (LexError, ParseError, SemaError, LowerError) as exc:
+        print(f"{args.file}: error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "compile":
+        if args.emit == "kernels":
+            for name, kinfo in program.kernels.items():
+                marker = " (CPU-only: restriction fallback)" if kinfo.cpu_only else ""
+                print(f"{name}: {kinfo.construct}{marker}")
+            return 0
+        if not program.kernels:
+            print("no heterogeneous body classes found", file=sys.stderr)
+            return 1
+        for name, kinfo in program.kernels.items():
+            print(f"// ===== {name} [{args.config}] =====")
+            if args.emit == "ir":
+                print(format_function(kinfo.gpu_kernel))
+            elif args.emit == "opencl":
+                print(kinfo.opencl_source)
+            elif args.emit == "stats":
+                mix = kernel_mix(program, name)
+                print(
+                    f"control {mix.control_pct:.1f}%  memory {mix.memory_pct:.1f}%  "
+                    f"remaining {mix.remaining_pct:.1f}%  "
+                    f"(irregularity {mix.irregularity_pct:.1f}%)"
+                )
+        return 0
+
+    # run
+    from .exec import ExecutionError
+    from .svm import MemoryFault
+
+    system = ultrabook() if args.system == "ultrabook" else desktop()
+    rt = ConcordRuntime(program, system)
+    try:
+        body = rt.new(args.body)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    try:
+        report = rt.parallel_for_hetero(args.n, body, on_cpu=args.on_cpu)
+    except (MemoryFault, ExecutionError) as exc:
+        print(
+            f"error: kernel faulted: {exc}\n"
+            f"note: `repro run` launches over a zero-initialized {args.body}; "
+            "bodies that dereference pointer fields need host-side setup "
+            "(see examples/) and cannot be driven from this command",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{args.body}: device={report.device} n={args.n} "
+        f"time={report.seconds:.3e}s energy={report.energy_joules:.3e}J"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

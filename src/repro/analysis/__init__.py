@@ -1,0 +1,5 @@
+"""Static analyses over compiled programs (Figure 6 IR statistics)."""
+
+from .irstats import IrMix, classify_instruction, ir_mix, kernel_mix
+
+__all__ = ["IrMix", "classify_instruction", "ir_mix", "kernel_mix"]

@@ -1,0 +1,88 @@
+"""Static IR statistics (paper Figure 6).
+
+The paper measures irregularity as the fraction of IR operations that are
+control-flow or memory related: "more than one in four IR instructions is
+either a control flow or memory instruction" for the irregular workloads.
+We classify the same way over the device kernels (pre-SVM-lowering, so the
+counts reflect the program, not the translation overhead):
+
+* control: branches, compares feeding branches, returns, calls, vcalls,
+  selects and phis (control-dependent value merges);
+* memory: loads and stores (and atomics);
+* remaining: arithmetic, conversions, address computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import Function
+
+CONTROL_OPS = frozenset("br condbr ret unreachable vcall select phi".split())
+MEMORY_OPS = frozenset("load store".split())
+
+
+@dataclass(frozen=True)
+class IrMix:
+    control: int
+    memory: int
+    remaining: int
+
+    @property
+    def total(self) -> int:
+        return self.control + self.memory + self.remaining
+
+    @property
+    def control_pct(self) -> float:
+        return 100.0 * self.control / self.total if self.total else 0.0
+
+    @property
+    def memory_pct(self) -> float:
+        return 100.0 * self.memory / self.total if self.total else 0.0
+
+    @property
+    def remaining_pct(self) -> float:
+        return 100.0 * self.remaining / self.total if self.total else 0.0
+
+    @property
+    def irregularity_pct(self) -> float:
+        """control + memory share — the paper's headline irregularity."""
+        return self.control_pct + self.memory_pct
+
+
+def classify_instruction(op: str, callee_name: str = "") -> str:
+    if op in CONTROL_OPS:
+        return "control"
+    if op in MEMORY_OPS or callee_name.startswith("atomic."):
+        return "memory"
+    if op == "call":
+        # direct function calls are control transfers; pure math/SVM
+        # intrinsics are ordinary computation
+        if callee_name.startswith(("math.", "svm.", "gpu.")):
+            return "remaining"
+        return "control"
+    return "remaining"
+
+
+def ir_mix(functions: list[Function]) -> IrMix:
+    control = memory = remaining = 0
+    for function in functions:
+        for instr in function.instructions():
+            callee = getattr(instr.callee, "name", "") if instr.op == "call" else ""
+            kind = classify_instruction(instr.op, callee)
+            if kind == "control":
+                control += 1
+            elif kind == "memory":
+                memory += 1
+            else:
+                remaining += 1
+    return IrMix(control=control, memory=memory, remaining=remaining)
+
+
+def kernel_mix(program, class_name: str) -> IrMix:
+    """Figure 6 measurement for one workload's device code."""
+    kinfo = program.kernel_for(class_name)
+    functions = [kinfo.kernel]
+    if kinfo.join_kernel is not None:
+        functions.append(kinfo.join_kernel)
+    return ir_mix(functions)

@@ -1,0 +1,5 @@
+"""Code generation backends (OpenCL C kernel emission)."""
+
+from .opencl import emit_kernel_opencl
+
+__all__ = ["emit_kernel_opencl"]

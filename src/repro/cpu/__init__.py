@@ -1,0 +1,6 @@
+"""Multicore CPU simulator: device models and timing/energy."""
+
+from .device import CpuDevice, i7_4650u, i7_4770
+from .timing import time_cpu_execution
+
+__all__ = ["CpuDevice", "i7_4650u", "i7_4770", "time_cpu_execution"]

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerates every table and figure of the paper's
+evaluation (Table 1, Figure 6, Figures 7-10, the section 5.4 SVM-overhead
+study)."""
+
+from .figures import FigureData, figure7, figure8, figure9, figure10
+from .runner import (
+    GPU_CONFIG_LABELS,
+    Measurement,
+    WORKLOAD_ORDER,
+    clear_cache,
+    geomean,
+    measure_all,
+    measure_workload,
+)
+from .svm_overhead import OverheadPoint, format_svm_overhead, measure_svm_overhead
+from .tables import figure6_mixes, format_figure6, format_table1, table1_rows
+
+__all__ = [
+    "FigureData",
+    "GPU_CONFIG_LABELS",
+    "Measurement",
+    "OverheadPoint",
+    "WORKLOAD_ORDER",
+    "clear_cache",
+    "figure10",
+    "figure6_mixes",
+    "figure7",
+    "figure8",
+    "figure9",
+    "format_figure6",
+    "format_svm_overhead",
+    "format_table1",
+    "geomean",
+    "measure_all",
+    "measure_svm_overhead",
+    "measure_workload",
+    "table1_rows",
+]

@@ -1,0 +1,62 @@
+"""CLI for the evaluation harness.
+
+Usage::
+
+    python -m repro.eval table1
+    python -m repro.eval fig6
+    python -m repro.eval fig7 [--scale 0.5]
+    python -m repro.eval fig8 | fig9 | fig10
+    python -m repro.eval svm
+    python -m repro.eval all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    format_figure6,
+    format_svm_overhead,
+    format_table1,
+)
+
+EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "fig10", "svm", "report", "all")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.eval")
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args(argv)
+
+    chosen = EXPERIMENTS[:-2] if args.experiment == "all" else (args.experiment,)
+    for experiment in chosen:
+        if experiment == "table1":
+            print(format_table1(args.scale))
+        elif experiment == "fig6":
+            print(format_figure6())
+        elif experiment == "fig7":
+            print(figure7(args.scale).render())
+        elif experiment == "fig8":
+            print(figure8(args.scale).render())
+        elif experiment == "fig9":
+            print(figure9(args.scale).render())
+        elif experiment == "fig10":
+            print(figure10(args.scale).render())
+        elif experiment == "svm":
+            print(format_svm_overhead())
+        elif experiment == "report":
+            from .report import generate_report
+
+            print(generate_report(args.scale))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

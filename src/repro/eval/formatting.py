@@ -1,0 +1,34 @@
+"""Plain-text table/series rendering for the evaluation outputs."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+
+    def line(cells):
+        return "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rows)
+    return "\n".join(parts)
+
+
+def render_series(title: str, labels: list[str], series: dict[str, list[float]],
+                  value_format: str = "{:.2f}") -> str:
+    """Figure-style output: one row per label, one column per series."""
+    headers = ["Benchmark", *series.keys()]
+    rows = []
+    for index, label in enumerate(labels):
+        rows.append(
+            [label, *(value_format.format(values[index]) for values in series.values())]
+        )
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,150 @@
+"""One-shot markdown report: every table/figure plus shape-target checks.
+
+``python -m repro.eval report [--scale 0.5] > results.md`` regenerates the
+whole evaluation and appends a pass/fail table of the paper's shape
+targets, so a fresh checkout can confirm the reproduction in one command.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from .figures import FigureData, figure7, figure8, figure9, figure10
+from .runner import geomean
+from .svm_overhead import measure_svm_overhead
+from .tables import figure6_mixes, format_figure6, format_table1
+
+
+@dataclass
+class ShapeCheck:
+    name: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+def shape_checks(
+    fig7: FigureData,
+    fig8: FigureData,
+    fig9: FigureData,
+    fig10: FigureData,
+    overhead_points,
+    mixes,
+) -> list[ShapeCheck]:
+    checks: list[ShapeCheck] = []
+
+    def add(name, expected, measured, passed):
+        checks.append(ShapeCheck(name, expected, f"{measured}", bool(passed)))
+
+    speed7 = dict(zip(fig7.labels, fig7.series["GPU+ALL"]))
+    energy8 = dict(zip(fig8.labels, fig8.series["GPU+ALL"]))
+    speed9 = dict(zip(fig9.labels, fig9.series["GPU+ALL"]))
+    energy10 = dict(zip(fig10.labels, fig10.series["GPU+ALL"]))
+
+    add(
+        "Ultrabook: every workload speeds up",
+        ">= 1.0x (paper min 1.11x)",
+        f"min {min(speed7.values()):.2f}x",
+        min(speed7.values()) >= 1.0,
+    )
+    add(
+        "Ultrabook: Raytracer is the best performer",
+        "top of Figure 7 (paper 9.88x)",
+        f"{speed7['Raytracer']:.2f}x",
+        max(speed7, key=speed7.get) == "Raytracer",
+    )
+    add(
+        "Ultrabook energy geomean near paper's 2.04x",
+        "1.4x-3.0x",
+        f"{geomean(energy8.values()):.2f}x",
+        1.4 <= geomean(energy8.values()) <= 3.0,
+    )
+    add(
+        "Ultrabook: FaceDetect among worst 3 for energy",
+        "paper: the only workload < 1x",
+        f"rank {sorted(energy8, key=energy8.get).index('FaceDetect') + 1}/9",
+        "FaceDetect" in sorted(energy8, key=energy8.get)[:3],
+    )
+    add(
+        "Desktop: BarnesHut slower on GPU",
+        "< 1.0x (paper 0.53x)",
+        f"{speed9['BarnesHut']:.2f}x",
+        speed9["BarnesHut"] < 1.0,
+    )
+    add(
+        "Desktop speedup geomean near parity",
+        "0.8x-1.8x (paper ~1.01x)",
+        f"{geomean(speed9.values()):.2f}x",
+        0.8 <= geomean(speed9.values()) <= 1.8,
+    )
+    add(
+        "Desktop energy geomean near paper's 1.69x",
+        "1.2x-2.6x",
+        f"{geomean(energy10.values()):.2f}x",
+        1.2 <= geomean(energy10.values()) <= 2.6,
+    )
+    add(
+        "Desktop: BarnesHut energy ratio far above its speed ratio",
+        "paper: 0.53x speed but 1.48x energy",
+        f"{energy10['BarnesHut']:.2f}x vs {speed9['BarnesHut']:.2f}x",
+        energy10["BarnesHut"] > speed9["BarnesHut"] * 1.3,
+    )
+    add(
+        "PTROPT helps on both systems",
+        "geomean > 1 (paper 1.06x/1.09x)",
+        f"{fig7.averages()['GPU+PTROPT'] / fig7.averages()['GPU']:.3f}x / "
+        f"{fig9.averages()['GPU+PTROPT'] / fig9.averages()['GPU']:.3f}x",
+        fig7.averages()["GPU+PTROPT"] > fig7.averages()["GPU"]
+        and fig9.averages()["GPU+PTROPT"] > fig9.averages()["GPU"],
+    )
+    add(
+        "Raytracer among the least irregular (Fig 6)",
+        "bottom 3 of control+memory ranking",
+        f"{mixes['Raytracer'].irregularity_pct:.1f}%",
+        "Raytracer"
+        in sorted(mixes, key=lambda n: mixes[n].irregularity_pct)[:3],
+    )
+    worst_overhead = max(p.overhead_pct for p in overhead_points)
+    add(
+        "SVM overhead small and positive (paper <= ~6%)",
+        "0% < overhead < 20%",
+        f"max {worst_overhead:+.1f}%",
+        0.0 < worst_overhead < 20.0,
+    )
+    return checks
+
+
+def generate_report(scale: float = 1.0) -> str:
+    out = io.StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write(f"Workload scale: {scale}\n\n")
+
+    out.write("```\n" + format_table1(scale) + "\n```\n\n")
+    mixes = figure6_mixes()
+    out.write("```\n" + format_figure6() + "\n```\n\n")
+
+    fig7 = figure7(scale)
+    fig8 = figure8(scale)
+    fig9 = figure9(scale)
+    fig10 = figure10(scale)
+    for fig in (fig7, fig8, fig9, fig10):
+        out.write("```\n" + fig.render() + "\n```\n\n")
+
+    overhead = measure_svm_overhead()
+    from .svm_overhead import format_svm_overhead
+
+    out.write("```\n" + format_svm_overhead(overhead) + "\n```\n\n")
+
+    out.write("## Shape targets (paper vs this run)\n\n")
+    out.write("| check | expected | measured | status |\n")
+    out.write("|---|---|---|---|\n")
+    checks = shape_checks(fig7, fig8, fig9, fig10, overhead, mixes)
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        out.write(
+            f"| {check.name} | {check.expected} | {check.measured} | {status} |\n"
+        )
+    passed = sum(1 for c in checks if c.passed)
+    out.write(f"\n{passed}/{len(checks)} shape targets hold.\n")
+    return out.getvalue()

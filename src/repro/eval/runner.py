@@ -1,0 +1,113 @@
+"""Measurement core for the evaluation (paper section 5).
+
+For one workload on one system we measure:
+
+* multicore CPU execution (the paper's baseline) — same compiled program,
+  ``on_cpu=True``;
+* GPU execution under the four configurations of section 5: GPU,
+  GPU+PTROPT, GPU+L3OPT, GPU+ALL.
+
+Results are cached per (workload, system, scale) within the process so the
+figure/benchmark runners can share them.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+from ..passes import OptConfig
+from ..runtime.system import System, desktop, ultrabook
+from ..workloads import all_workloads
+from ..workloads.base import Workload
+
+GPU_CONFIG_LABELS = ("GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL")
+
+#: Workloads in the paper's presentation order.
+WORKLOAD_ORDER = (
+    "BarnesHut",
+    "BFS",
+    "BTree",
+    "ClothPhysics",
+    "ConnectedComponent",
+    "FaceDetect",
+    "Raytracer",
+    "SkipList",
+    "SSSP",
+)
+
+
+@dataclass
+class Measurement:
+    workload: str
+    system: str
+    cpu_seconds: float
+    cpu_energy: float
+    gpu_seconds: dict[str, float] = field(default_factory=dict)
+    gpu_energy: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, label: str = "GPU+ALL") -> float:
+        return self.cpu_seconds / self.gpu_seconds[label]
+
+    def energy_savings(self, label: str = "GPU+ALL") -> float:
+        return self.cpu_energy / self.gpu_energy[label]
+
+
+_CACHE: dict[tuple, Measurement] = {}
+
+
+def measure_workload(
+    workload_cls: type[Workload],
+    system: System,
+    scale: float = 1.0,
+    validate: bool = True,
+) -> Measurement:
+    key = (workload_cls.__name__, system.name, round(scale, 4))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    workload = workload_cls()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        cpu_outcome = workload.execute(
+            OptConfig.gpu_all(), system, on_cpu=True, scale=scale, validate=validate
+        )
+        measurement = Measurement(
+            workload=workload_cls.name,
+            system=system.name,
+            cpu_seconds=cpu_outcome.seconds,
+            cpu_energy=cpu_outcome.energy_joules,
+        )
+        for config in OptConfig.all_configs():
+            outcome = workload.execute(
+                config, system, on_cpu=False, scale=scale, validate=validate
+            )
+            measurement.gpu_seconds[config.label] = outcome.seconds
+            measurement.gpu_energy[config.label] = outcome.energy_joules
+    _CACHE[key] = measurement
+    return measurement
+
+
+def measure_all(
+    system: System, scale: float = 1.0, validate: bool = True
+) -> dict[str, Measurement]:
+    workloads = all_workloads()
+    result = {}
+    for name in WORKLOAD_ORDER:
+        result[name] = measure_workload(workloads[name], system, scale, validate)
+    return result
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,81 @@
+"""Section 5.4: overhead of the software SVM implementation.
+
+The paper ports the pointer-intensive Raytracer to plain OpenCL 1.2 by
+hand: the scene graph is flattened into linear arrays indexed by integer
+offsets (no shared pointers, no translation).  Comparing the Concord
+version against that comparator isolates what software SVM costs; the
+paper found negligible overhead for small images and only ~6% at the
+largest size.
+
+We run the same experiment across image sizes with our Raytracer and the
+``RaytracerFlat`` comparator on the Ultrabook GPU.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+from ..passes import OptConfig
+from ..runtime.system import System, ultrabook
+from ..workloads.raytracer import FlatRaytracerWorkload, RaytracerWorkload
+from .formatting import render_table
+
+
+@dataclass
+class OverheadPoint:
+    width: int
+    height: int
+    concord_seconds: float
+    opencl_seconds: float
+
+    @property
+    def overhead_pct(self) -> float:
+        return 100.0 * (self.concord_seconds / self.opencl_seconds - 1.0)
+
+
+def measure_svm_overhead(
+    scales=(0.4, 0.7, 1.0, 1.5),
+    system: System | None = None,
+    config: OptConfig | None = None,
+) -> list[OverheadPoint]:
+    system = system or ultrabook()
+    config = config or OptConfig.gpu_all()
+    points = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        for scale in scales:
+            concord = RaytracerWorkload()
+            flat = FlatRaytracerWorkload()
+            width, height = concord.resolution(scale)
+            concord_outcome = concord.execute(
+                config, system, scale=scale, validate=False
+            )
+            flat_outcome = flat.execute(config, system, scale=scale, validate=False)
+            points.append(
+                OverheadPoint(
+                    width=width,
+                    height=height,
+                    concord_seconds=concord_outcome.seconds,
+                    opencl_seconds=flat_outcome.seconds,
+                )
+            )
+    return points
+
+
+def format_svm_overhead(points: list[OverheadPoint] | None = None) -> str:
+    points = points or measure_svm_overhead()
+    rows = [
+        [
+            f"{p.width}x{p.height}",
+            f"{p.concord_seconds:.3e}",
+            f"{p.opencl_seconds:.3e}",
+            f"{p.overhead_pct:+.1f}%",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["Image", "Concord (SVM)", "Flattened OpenCL", "SVM overhead"],
+        rows,
+        title="Section 5.4: overhead of software SVM (Raytracer)",
+    )

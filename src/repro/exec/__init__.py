@@ -1,0 +1,17 @@
+"""Scalar IR execution engine shared by the CPU/GPU simulators and host."""
+
+from .interp import (
+    AddressSpace,
+    ExecTrace,
+    ExecutionError,
+    Interpreter,
+    MemEvent,
+)
+
+__all__ = [
+    "AddressSpace",
+    "ExecTrace",
+    "ExecutionError",
+    "Interpreter",
+    "MemEvent",
+]

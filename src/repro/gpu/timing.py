@@ -1,0 +1,317 @@
+"""GPU performance and energy model from execution traces.
+
+Work-items execute functionally on the scalar interpreter; this module
+turns their per-lane :class:`~repro.exec.ExecTrace` records into cycles and
+joules on a :class:`~repro.gpu.device.GpuDevice`:
+
+* **SIMT issue with divergence.**  Lanes are grouped into SIMD16 warps in
+  index order (the hardware's dispatch order).  For each basic block, the
+  baseline issue estimate is ``max over lanes of (times that lane executed
+  the block)`` — lanes that skipped it ride along masked, lanes that looped
+  more force re-issues.  On top of that, blocks guarded by a conditional
+  branch get the **independent-outcomes correction**: in irregular code the
+  branch decides differently in every lane on every iteration, so the warp
+  must issue the guarded block whenever *any* lane enters it.  With
+  per-lane enter probabilities ``p_l`` (measured from the trace), the
+  expected issue count is ``occurrences x (1 - prod(1 - p_l))``, which can
+  far exceed the per-lane max — this is exactly the cost of the three-way
+  data-dependent branch in a Barnes-Hut traversal, invisible to plain
+  block-count models.
+
+* **Coalescing and gather cracking.**  Lane accesses from the same dynamic
+  occurrence of one memory instruction (``(instr_uid, seq)``) coalesce: the
+  warp issues one transaction per distinct cache line touched.  A scattered
+  access (many distinct lines) additionally *cracks* into multiple
+  data-port messages that occupy EU issue slots — uniform/adjacent loads
+  (Raytracer walking the same scene array) are near free on the issue side,
+  while pointer-chasing gathers (BarnesHut, SkipList, BTree) pay per line.
+  This is the second, often dominant cost of irregular memory on real
+  hardware.
+
+* **Un-banked L3 + contention.**  Each transaction probes the shared L3
+  (LRU, set-associative).  Transactions from warps resident on *different
+  EUs* that touch the same line at the same dynamic position serialize on
+  the line's single port — this is the contention the L3OPT transformation
+  removes by staggering per-core access order (paper section 4.2).
+
+* **Latency hiding.**  7 threads per EU overlap memory stalls with other
+  warps' compute; the residual exposed latency is ``(1 - latency_hiding)``.
+
+The returned :class:`DeviceReport` carries cycles, seconds, joules and the
+breakdown the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exec.interp import ExecTrace
+from ..ir import Function
+from .cache import CacheModel
+from .device import GpuDevice
+
+
+@dataclass
+class DeviceReport:
+    device: str
+    seconds: float
+    energy_joules: float
+    cycles: float = 0.0
+    instructions: int = 0
+    issue_slots: float = 0.0
+    mem_transactions: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    contention_events: int = 0
+    contention_cycles: float = 0.0
+    divergence_waste: float = 0.0  # issue slots beyond converged minimum
+    translations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __add__(self, other: "DeviceReport") -> "DeviceReport":
+        if other == 0:
+            return self
+        return DeviceReport(
+            device=self.device,
+            seconds=self.seconds + other.seconds,
+            energy_joules=self.energy_joules + other.energy_joules,
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            issue_slots=self.issue_slots + other.issue_slots,
+            mem_transactions=self.mem_transactions + other.mem_transactions,
+            l3_hits=self.l3_hits + other.l3_hits,
+            l3_misses=self.l3_misses + other.l3_misses,
+            contention_events=self.contention_events + other.contention_events,
+            contention_cycles=self.contention_cycles + other.contention_cycles,
+            divergence_waste=self.divergence_waste + other.divergence_waste,
+            translations=self.translations + other.translations,
+            extra={**self.extra, **other.extra},
+        )
+
+    __radd__ = __add__
+
+
+#: Gen7.5 EUs have no native 64-bit integer ALU: a 64-bit add/sub (the
+#: SVM pointer-translation arithmetic!) cracks into multiple 32-bit ops.
+INT64_OP_SLOTS = 3.0
+TRANSLATE_SLOTS = 3.0
+DIV_SLOTS = 8.0
+#: extra issue slots per additional cache line touched by one scattered
+#: SIMD16 access (data-port message cracking)
+GATHER_CRACK_SLOTS = 2.0
+
+
+def _instruction_slots(instr) -> float:
+    from ..ir.types import IntType
+    from ..ir.values import BINARY_OPS
+
+    if instr.op == "call" and instr.callee is not None:
+        name = instr.callee.name
+        if name.startswith("svm.to_"):
+            return TRANSLATE_SLOTS
+        if name.startswith("math."):
+            return 4.0  # transcendentals run on shared EU units
+        return 1.0
+    if instr.op in ("sdiv", "udiv", "srem", "urem"):
+        return DIV_SLOTS
+    if instr.op == "fdiv":
+        return 4.0
+    if instr.op in ("fadd", "fsub", "fmul"):
+        # dual FPUs with MAD co-issue: FP arithmetic is the EU's fast path
+        return 0.6
+    if instr.op in BINARY_OPS and isinstance(instr.type, IntType) and instr.type.bits == 64:
+        return INT64_OP_SLOTS
+    if instr.op == "gep" and len(instr.operands) > 1:
+        return 2.0  # 64-bit address arithmetic
+    return 1.0
+
+
+def block_sizes(kernel: Function) -> dict[int, float]:
+    return {
+        b.uid: max(1.0, sum(_instruction_slots(i) for i in b.instructions))
+        for b in kernel.blocks
+    }
+
+
+def _guarded_blocks(kernel: Function) -> dict[int, int]:
+    """Map block uid -> uid of its unique condbr predecessor (if any).
+
+    Such blocks are control-dependent on a data-dependent branch; the
+    independent-outcomes divergence correction applies to them.
+    """
+    preds: dict[int, list] = {}
+    for block in kernel.blocks:
+        term = block.terminator
+        if term is None:
+            continue
+        for succ in term.targets:
+            preds.setdefault(succ.uid, []).append((block, term))
+    guarded: dict[int, int] = {}
+    for block in kernel.blocks:
+        entry = preds.get(block.uid, [])
+        if len(entry) == 1 and entry[0][1].op == "condbr":
+            guarded[block.uid] = entry[0][0].uid
+    return guarded
+
+
+def time_gpu_kernel(
+    device: GpuDevice,
+    kernel: Function,
+    traces: list[ExecTrace],
+    l3: CacheModel | None = None,
+) -> DeviceReport:
+    sizes = block_sizes(kernel)
+    guarded = _guarded_blocks(kernel)
+    l3 = l3 or CacheModel(device.l3_size_bytes, device.l3_line_bytes, device.l3_assoc)
+    w = device.simd_width
+
+    total_issue = 0.0
+    converged_issue = 0.0
+    total_instructions = 0
+    total_translations = 0
+
+    mem_transactions = 0
+    l3_hits = 0
+    l3_misses = 0
+    mem_latency_cycles = 0.0
+    dram_bytes = 0
+
+    # contention bookkeeping: (instr_uid, seq, line) -> set of EU ids
+    line_touches: dict[tuple, set] = {}
+
+    num_warps = (len(traces) + w - 1) // w
+    for warp_index in range(num_warps):
+        lanes = traces[warp_index * w : (warp_index + 1) * w]
+        eu = warp_index % device.num_eus
+
+        # -- compute issue (divergence model)
+        block_max: dict[int, int] = {}
+        block_sum: dict[int, int] = {}
+        per_lane_counts: list[dict] = []
+        for lane in lanes:
+            total_instructions += lane.instructions
+            total_translations += lane.translations
+            per_lane_counts.append(lane.block_counts)
+            for uid, count in lane.block_counts.items():
+                if count > block_max.get(uid, 0):
+                    block_max[uid] = count
+                block_sum[uid] = block_sum.get(uid, 0) + count
+        warp_issue = 0.0
+        for uid, max_count in block_max.items():
+            estimate = float(max_count)
+            parent = guarded.get(uid)
+            if parent is not None and len(lanes) > 1:
+                parent_occ = block_max.get(parent, 0)
+                if parent_occ > 0:
+                    miss_all = 1.0
+                    for counts in per_lane_counts:
+                        parent_count = counts.get(parent, 0)
+                        if parent_count <= 0:
+                            continue
+                        p_enter = min(1.0, counts.get(uid, 0) / parent_count)
+                        miss_all *= 1.0 - p_enter
+                    estimate = max(estimate, parent_occ * (1.0 - miss_all))
+            warp_issue += estimate * sizes.get(uid, 1)
+        warp_converged = sum(
+            (block_sum[uid] / len(lanes)) * sizes.get(uid, 1) for uid in block_sum
+        )
+        total_issue += warp_issue
+        converged_issue += warp_converged
+
+        # -- memory transactions (coalescing per dynamic occurrence)
+        occurrence: dict[tuple, list] = {}
+        for lane in lanes:
+            for event in lane.mem_events:
+                occurrence.setdefault((event.instr_uid, event.seq), []).append(event)
+        warp_tx = 0
+        for key, events in occurrence.items():
+            lines = {}
+            for event in events:
+                first = event.address // device.l3_line_bytes
+                last = (event.address + event.size - 1) // device.l3_line_bytes
+                for line in range(first, last + 1):
+                    lines[line] = True
+            warp_tx += len(lines)
+            for line in lines:
+                mem_transactions += 1
+                if l3.access(line):
+                    l3_hits += 1
+                    mem_latency_cycles += device.l3_hit_cycles
+                else:
+                    l3_misses += 1
+                    mem_latency_cycles += device.dram_latency_cycles
+                    dram_bytes += device.l3_line_bytes
+                touched = line_touches.setdefault((key[0], key[1], line), set())
+                touched.add(eu)
+        crack_slots = GATHER_CRACK_SLOTS * max(0, warp_tx - len(occurrence))
+        total_issue += crack_slots
+
+    contention_events = 0
+    contention_cycles = 0.0
+    ports = device.l3_line_ports
+    for eus in line_touches.values():
+        extra = max(0, len(eus) - ports)
+        if extra:
+            contention_events += extra
+            contention_cycles += extra * device.contention_penalty_cycles
+
+    # -- fold into wall-clock cycles
+    #
+    # Three throughput limits, the slowest wins (standard analytic GPU
+    # model):
+    #  * compute: each EU issues one SIMD16 instruction per
+    #    ``issue_cycles_per_slot`` cycles;
+    #  * memory latency: each hardware thread sustains roughly one
+    #    outstanding dependent-load chain, so aggregate latency is divided
+    #    by EUs x threads — pointer chasing cannot hide more than that
+    #    (this is what makes irregular traversals slow on the GPU);
+    #  * DRAM bandwidth for the miss traffic.
+    # Un-banked-L3 contention serializes on top.
+    eus = device.num_eus
+    compute_cycles = total_issue * device.issue_cycles_per_slot / eus
+    concurrency = min(
+        eus * device.threads_per_eu * device.memory_parallelism,
+        device.fabric_outstanding_misses
+        if l3_misses > l3_hits
+        else eus * device.threads_per_eu * device.memory_parallelism,
+    )
+    latency_cycles = mem_latency_cycles / concurrency
+    bandwidth_cycles = dram_bytes / device.dram_bandwidth_bytes_per_cycle
+    wall_cycles = (
+        max(compute_cycles, latency_cycles, bandwidth_cycles)
+        + contention_cycles / eus
+    )
+    seconds = wall_cycles / device.frequency_hz
+
+    dynamic_energy = (
+        total_issue * device.energy_per_issue_slot
+        + (l3_hits + l3_misses) * device.energy_per_l3_access
+        + l3_misses * device.energy_per_dram_access
+    )
+    # TDP throttling: if sustained-clock execution would exceed the package
+    # power budget, the clock drops and execution stretches until
+    # dynamic_power + idle fits inside the budget.
+    budget = device.power_budget_watts
+    if budget and seconds > 0.0:
+        headroom = max(1e-3, budget - device.idle_power_watts)
+        min_seconds = dynamic_energy / headroom
+        if min_seconds > seconds:
+            wall_cycles *= min_seconds / seconds
+            seconds = min_seconds
+    energy = dynamic_energy + device.idle_power_watts * seconds
+
+    return DeviceReport(
+        device=device.name,
+        seconds=seconds,
+        energy_joules=energy,
+        cycles=wall_cycles,
+        instructions=total_instructions,
+        issue_slots=total_issue,
+        mem_transactions=mem_transactions,
+        l3_hits=l3_hits,
+        l3_misses=l3_misses,
+        contention_events=contention_events,
+        contention_cycles=contention_cycles,
+        divergence_waste=max(0.0, total_issue - converged_issue),
+        translations=total_translations,
+    )

@@ -1,0 +1,176 @@
+"""Convenience builder for emitting IR instructions into basic blocks."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .types import (
+    BOOL,
+    FloatType,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+)
+from .values import (
+    BasicBlock,
+    Constant,
+    Function,
+    Instruction,
+    Intrinsic,
+    Value,
+)
+
+
+class IRBuilder:
+    """Appends instructions at an insertion point, LLVM-IRBuilder style."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        self.block = block
+
+    # -- core emission -----------------------------------------------------
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        assert self.block is not None, "builder has no insertion block"
+        assert self.block.terminator is None, (
+            f"emitting {instr.op} after terminator in {self.block.name}"
+        )
+        return self.block.append(instr)
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self._emit(Instruction(op, lhs.type, [lhs, rhs], name))
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        instr = Instruction("icmp", BOOL, [lhs, rhs], name)
+        instr.pred = pred
+        return self._emit(instr)
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        instr = Instruction("fcmp", BOOL, [lhs, rhs], name)
+        instr.pred = pred
+        return self._emit(instr)
+
+    def select(self, cond: Value, then: Value, other: Value, name: str = "") -> Instruction:
+        return self._emit(Instruction("select", then.type, [cond, then, other], name))
+
+    def cast(self, op: str, value: Value, to: Type, name: str = "") -> Instruction:
+        return self._emit(Instruction(op, to, [value], name))
+
+    def alloca(self, alloc_type: Type, name: str = "") -> Instruction:
+        instr = Instruction("alloca", PointerType(alloc_type), [], name)
+        instr.alloc_type = alloc_type
+        return self._emit(instr)
+
+    def load(self, pointer: Value, name: str = "") -> Instruction:
+        assert isinstance(pointer.type, PointerType), f"load from non-pointer {pointer.type}"
+        return self._emit(Instruction("load", pointer.type.pointee, [pointer], name))
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        assert isinstance(pointer.type, PointerType), "store to non-pointer"
+        return self._emit(Instruction("store", VOID, [value, pointer]))
+
+    def gep(
+        self,
+        base: Value,
+        result_type: PointerType,
+        offset: int = 0,
+        indices: Sequence[tuple[Value, int]] = (),
+        name: str = "",
+    ) -> Instruction:
+        """Address arithmetic: ``base + offset + sum(index * scale)``.
+
+        ``indices`` is a sequence of ``(value, byte_scale)`` pairs.  The
+        result points at ``result_type.pointee``.
+        """
+        instr = Instruction("gep", result_type, [base, *(v for v, _ in indices)], name)
+        instr.gep_offset = offset
+        instr.gep_scales = [scale for _, scale in indices]
+        return self._emit(instr)
+
+    def call(self, callee, args: Sequence[Value], name: str = "") -> Instruction:
+        instr = Instruction("call", callee.return_type, list(args), name)
+        instr.callee = callee
+        return self._emit(instr)
+
+    def vcall(
+        self,
+        obj: Value,
+        vclass,
+        vslot: int,
+        ret_type: Type,
+        args: Sequence[Value],
+        name: str = "",
+    ) -> Instruction:
+        """Virtual call through ``obj``'s vtable slot ``vslot``.
+
+        Expanded into an inline compare chain by the devirtualization
+        pass (paper section 3.2) since GPUs have no function pointers.
+        """
+        instr = Instruction("vcall", ret_type, [obj, *args], name)
+        instr.vclass = vclass
+        instr.vslot = vslot
+        return self._emit(instr)
+
+    def phi(self, type_: Type, name: str = "") -> Instruction:
+        assert self.block is not None
+        instr = Instruction("phi", type_, [], name)
+        return self.block.insert(self.block.first_non_phi_index(), instr)
+
+    # -- terminators ---------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Instruction:
+        instr = Instruction("br", VOID, [])
+        instr.targets = [target]
+        return self._emit(instr)
+
+    def condbr(self, cond: Value, then: BasicBlock, other: BasicBlock) -> Instruction:
+        instr = Instruction("condbr", VOID, [cond])
+        instr.targets = [then, other]
+        return self._emit(instr)
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Instruction("ret", VOID, [value] if value is not None else []))
+
+    def unreachable(self) -> Instruction:
+        return self._emit(Instruction("unreachable", VOID, []))
+
+    # -- sugar ---------------------------------------------------------------
+
+    def add(self, a, b, name=""):
+        return self.binop("add", a, b, name)
+
+    def sub(self, a, b, name=""):
+        return self.binop("sub", a, b, name)
+
+    def mul(self, a, b, name=""):
+        return self.binop("mul", a, b, name)
+
+    def const(self, value, type_: Type = I64) -> Constant:
+        if isinstance(type_, IntType):
+            return Constant(type_, type_.wrap(int(value)))
+        if isinstance(type_, FloatType):
+            return Constant(type_, float(value))
+        return Constant(type_, value)
+
+    def i32(self, value: int) -> Constant:
+        return Constant(I32, I32.wrap(value))
+
+    def i64(self, value: int) -> Constant:
+        return Constant(I64, I64.wrap(value))
+
+
+def add_phi_incoming(phi: Instruction, value: Value, block: BasicBlock) -> None:
+    assert phi.op == "phi"
+    phi.operands.append(value)
+    phi.phi_blocks.append(block)
+
+
+def make_intrinsic(name: str, ret: Type, params: Sequence[Type], side_effects: bool) -> Intrinsic:
+    from .types import FunctionType
+
+    return Intrinsic(name, FunctionType(ret, tuple(params)), side_effects)

@@ -1,0 +1,308 @@
+"""Control-flow-graph analyses: dominators, post-dominators, natural loops.
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+post-order numbering.  Post-dominators run the same algorithm on the reversed
+CFG with a virtual exit joining every ``ret``/``unreachable`` block.  Natural
+loops are found from back edges (edge ``t -> h`` where ``h`` dominates ``t``)
+and grouped per header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .values import BasicBlock, Function
+
+
+def reverse_postorder(function: Function) -> list[BasicBlock]:
+    seen: set[BasicBlock] = set()
+    order: list[BasicBlock] = []
+
+    def visit(block: BasicBlock) -> None:
+        # Iterative DFS to avoid Python recursion limits on deep CFGs.
+        stack: list[tuple[BasicBlock, int]] = [(block, 0)]
+        seen.add(block)
+        while stack:
+            current, idx = stack.pop()
+            succs = current.successors()
+            if idx < len(succs):
+                stack.append((current, idx + 1))
+                nxt = succs[idx]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, 0))
+            else:
+                order.append(current)
+
+    visit(function.entry)
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    """Immediate-dominator tree plus dominance frontiers."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        self.idom: dict[BasicBlock, Optional[BasicBlock]] = {}
+        self._compute_idoms()
+        self.children: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in self.rpo}
+        for block, parent in self.idom.items():
+            if parent is not None and parent is not block:
+                self.children[parent].append(block)
+        self.frontier = self._compute_frontiers()
+
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry
+        preds = self.function.compute_preds()
+        idom: dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in self.rpo}
+        idom[entry] = entry
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds[block]:
+                    if pred not in self._rpo_index or idom.get(pred) is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(idom, new_idom, pred)
+                if new_idom is not None and idom[block] is not new_idom:
+                    idom[block] = new_idom
+                    changed = True
+        self.idom = idom
+
+    def _intersect(self, idom, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    def _compute_frontiers(self) -> dict[BasicBlock, set[BasicBlock]]:
+        frontier: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in self.rpo}
+        preds = self.function.compute_preds()
+        for block in self.rpo:
+            block_preds = [p for p in preds[block] if p in self._rpo_index]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner = pred
+                while runner is not self.idom[block] and runner is not None:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]
+        return frontier
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        runner: Optional[BasicBlock] = b
+        entry = self.function.entry
+        while runner is not None:
+            if runner is a:
+                return True
+            if runner is entry:
+                return False
+            runner = self.idom.get(runner)
+        return False
+
+    def reachable(self) -> set[BasicBlock]:
+        return set(self.rpo)
+
+
+@dataclass
+class Loop:
+    header: BasicBlock
+    blocks: set[BasicBlock] = field(default_factory=set)
+    latches: list[BasicBlock] = field(default_factory=list)
+    parent: Optional["Loop"] = None
+    children: list["Loop"] = field(default_factory=list)
+
+    def ordered(self) -> list:
+        """Loop blocks in deterministic (uid) order.  ``blocks`` is a set
+        for fast membership; iterate THIS for anything that generates code
+        or reports, or results will vary run to run with object identity.
+        """
+        return sorted(self.blocks, key=lambda b: b.uid)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        loop = self.parent
+        while loop is not None:
+            depth += 1
+            loop = loop.parent
+        return depth
+
+    def is_innermost(self) -> bool:
+        return not self.children
+
+    def exits(self) -> list[tuple[BasicBlock, BasicBlock]]:
+        """(inside_block, outside_successor) pairs leaving the loop."""
+        result = []
+        for block in self.ordered():
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    result.append((block, succ))
+        return result
+
+    def __repr__(self) -> str:
+        return f"Loop(header={self.header.name}, {len(self.blocks)} blocks)"
+
+
+def find_loops(function: Function, domtree: Optional[DominatorTree] = None) -> list[Loop]:
+    """Natural loops from back edges, nested via containment."""
+    domtree = domtree or DominatorTree(function)
+    preds = function.compute_preds()
+    loops: dict[BasicBlock, Loop] = {}
+    for block in domtree.rpo:
+        for succ in block.successors():
+            if domtree.dominates(succ, block):
+                loop = loops.setdefault(succ, Loop(header=succ))
+                loop.latches.append(block)
+                _collect_loop_body(loop, block, preds)
+    all_loops = list(loops.values())
+    for loop in all_loops:
+        loop.blocks.add(loop.header)
+    # Establish nesting: the parent is the smallest strictly-containing loop.
+    for loop in all_loops:
+        best: Optional[Loop] = None
+        for other in all_loops:
+            if other is loop:
+                continue
+            if loop.header in other.blocks and loop.blocks <= other.blocks:
+                if best is None or len(other.blocks) < len(best.blocks):
+                    best = other
+        loop.parent = best
+        if best is not None:
+            best.children.append(loop)
+    return all_loops
+
+
+def _collect_loop_body(loop: Loop, latch: BasicBlock, preds) -> None:
+    stack = [latch]
+    while stack:
+        block = stack.pop()
+        if block in loop.blocks or block is loop.header:
+            continue
+        loop.blocks.add(block)
+        stack.extend(preds.get(block, []))
+
+
+class PostDominatorTree:
+    """Post-dominators via dominators of the reversed CFG with virtual exit."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        exits = [
+            b
+            for b in function.blocks
+            if not b.successors() and b.instructions
+        ]
+        succs: dict[BasicBlock, list[BasicBlock]] = {}
+        preds: dict[BasicBlock, list[BasicBlock]] = {b: [] for b in function.blocks}
+        for block in function.blocks:
+            succs[block] = block.successors()
+            for s in succs[block]:
+                preds[s].append(block)
+        # Reverse graph: edges succ->block; roots are the exit blocks.
+        self._ipdom: dict[BasicBlock, Optional[BasicBlock]] = {}
+        order = self._reverse_rpo(exits, preds)
+        index = {b: i for i, b in enumerate(order)}
+        VIRTUAL_EXIT = None  # represented by None in the idom map
+        ipdom: dict[BasicBlock, Optional[BasicBlock]] = {b: None for b in order}
+        computed: set[BasicBlock] = set(exits)
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block in exits:
+                    continue
+                candidates = [s for s in succs[block] if s in computed or s in exits]
+                new_ipdom: Optional[BasicBlock] = None
+                for succ in candidates:
+                    if new_ipdom is None:
+                        new_ipdom = succ
+                    else:
+                        new_ipdom = self._intersect(
+                            ipdom, index, exits, new_ipdom, succ
+                        )
+                    if new_ipdom is None:
+                        break
+                if new_ipdom is not None:
+                    computed.add(block)
+                    if ipdom[block] is not new_ipdom:
+                        ipdom[block] = new_ipdom
+                        changed = True
+                elif candidates:
+                    # Successors post-dominated only by the virtual exit.
+                    computed.add(block)
+        self._ipdom = ipdom
+        self._exits = set(exits)
+
+    def _reverse_rpo(self, exits, preds) -> list[BasicBlock]:
+        seen: set[BasicBlock] = set()
+        order: list[BasicBlock] = []
+        for root in exits:
+            if root in seen:
+                continue
+            stack = [(root, 0)]
+            seen.add(root)
+            while stack:
+                current, idx = stack.pop()
+                ps = preds.get(current, [])
+                if idx < len(ps):
+                    stack.append((current, idx + 1))
+                    nxt = ps[idx]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(current)
+        order.reverse()
+        return order
+
+    def _intersect(self, ipdom, index, exits, a, b):
+        seen_limit = len(index) + 2
+        steps = 0
+        while a is not b:
+            steps += 1
+            if steps > seen_limit * 4:
+                return None
+            ia = index.get(a)
+            ib = index.get(b)
+            if ia is None or ib is None:
+                return None
+            while ia > ib:
+                if a in exits:
+                    return None
+                a = ipdom.get(a)
+                if a is None:
+                    return None
+                ia = index.get(a)
+                if ia is None:
+                    return None
+            while ib > ia:
+                if b in exits:
+                    return None
+                b = ipdom.get(b)
+                if b is None:
+                    return None
+                ib = index.get(b)
+                if ib is None:
+                    return None
+        return a
+
+    def immediate_postdominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        """None means the (virtual) exit."""
+        if block in self._exits:
+            return None
+        return self._ipdom.get(block)

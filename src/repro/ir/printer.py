@@ -1,0 +1,99 @@
+"""Textual form of the IR, for debugging, tests and golden files."""
+
+from __future__ import annotations
+
+from .types import VOID, VoidType
+from .values import (
+    Argument,
+    BasicBlock,
+    Constant,
+    Function,
+    GlobalVariable,
+    Instruction,
+    Intrinsic,
+    Module,
+    Value,
+)
+
+
+def value_ref(value: Value) -> str:
+    if isinstance(value, Constant):
+        return str(value.value)
+    if isinstance(value, Argument):
+        return f"%{value.name}"
+    if isinstance(value, GlobalVariable):
+        return f"@{value.name}"
+    if isinstance(value, Instruction):
+        return f"%{value.name or 't' + str(value.uid)}"
+    return repr(value)
+
+
+def format_instruction(instr: Instruction) -> str:
+    ops = ", ".join(value_ref(o) for o in instr.operands)
+    result = "" if isinstance(instr.type, VoidType) else f"{value_ref(instr)} = "
+    if instr.op in ("icmp", "fcmp"):
+        return f"{result}{instr.op} {instr.pred} {ops}"
+    if instr.op == "alloca":
+        return f"{result}alloca {instr.alloc_type}"
+    if instr.op == "gep":
+        parts = [value_ref(instr.operands[0])]
+        if instr.gep_offset:
+            parts.append(f"+{instr.gep_offset}")
+        for value, scale in zip(instr.operands[1:], instr.gep_scales):
+            parts.append(f"+{value_ref(value)}*{scale}")
+        return f"{result}gep {' '.join(parts)} -> {instr.type}"
+    if instr.op == "call":
+        callee = instr.callee
+        cname = callee.name if callee is not None else "?"
+        return f"{result}call @{cname}({ops})"
+    if instr.op == "vcall":
+        return (
+            f"{result}vcall slot={instr.vslot} "
+            f"class={getattr(instr.vclass, 'name', instr.vclass)}({ops})"
+        )
+    if instr.op == "phi":
+        pairs = ", ".join(
+            f"[{value_ref(v)}, {b.name}]"
+            for v, b in zip(instr.operands, instr.phi_blocks)
+        )
+        return f"{result}phi {instr.type} {pairs}"
+    if instr.op == "br":
+        return f"br {instr.targets[0].name}"
+    if instr.op == "condbr":
+        return (
+            f"condbr {value_ref(instr.operands[0])}, "
+            f"{instr.targets[0].name}, {instr.targets[1].name}"
+        )
+    if instr.op == "ret":
+        return f"ret {ops}" if ops else "ret"
+    if instr.op == "store":
+        return f"store {value_ref(instr.operands[0])} -> {value_ref(instr.operands[1])}"
+    suffix = f" : {instr.type}" if not isinstance(instr.type, VoidType) else ""
+    return f"{result}{instr.op} {ops}{suffix}"
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    lines.extend(f"  {format_instruction(i)}" for i in block.instructions)
+    return "\n".join(lines)
+
+
+def format_function(function: Function) -> str:
+    args = ", ".join(f"{a.type} %{a.name}" for a in function.args)
+    attrs = " ".join(
+        f"[{k}]" for k, v in sorted(function.attributes.items(), key=lambda kv: kv[0]) if v
+    )
+    head = f"func @{function.name}({args}) -> {function.ftype.ret} {attrs}".rstrip()
+    body = "\n".join(format_block(b) for b in function.blocks)
+    return f"{head} {{\n{body}\n}}"
+
+
+def format_module(module: Module) -> str:
+    chunks = []
+    for gvar in module.globals.values():
+        chunks.append(f"global @{gvar.name} : {gvar.value_type}")
+    for cls, slots in module.vtables.items():
+        entries = ", ".join(f.name for f in slots)
+        chunks.append(f"vtable {cls} = [{entries}]")
+    chunks.extend(format_function(f) for f in module.functions.values())
+    return "\n\n".join(chunks)

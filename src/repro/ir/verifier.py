@@ -1,0 +1,141 @@
+"""IR structural verifier.
+
+Run after the frontend and between passes in debug/test configurations to
+catch malformed IR early: missing terminators, phi/predecessor mismatches,
+type errors on memory ops, uses that do not dominate definitions (only
+checked for SSA-form functions, i.e. those without allocas of promoted
+scalars), and dangling block references.
+"""
+
+from __future__ import annotations
+
+from .cfg import DominatorTree
+from .types import PointerType, VoidType
+from .values import Argument, Constant, Function, GlobalVariable, Instruction, Module
+
+
+class VerificationError(Exception):
+    pass
+
+
+def verify_module(module: Module) -> None:
+    for function in module.functions.values():
+        if function.blocks:
+            verify_function(function)
+
+
+def verify_function(function: Function) -> None:
+    blocks = set(function.blocks)
+    defined: set[Instruction] = set()
+    for block in function.blocks:
+        if block.terminator is None:
+            raise VerificationError(
+                f"{function.name}: block {block.name} has no terminator"
+            )
+        for idx, instr in enumerate(block.instructions):
+            if instr.is_terminator and idx != len(block.instructions) - 1:
+                raise VerificationError(
+                    f"{function.name}: terminator {instr.op} not at end of {block.name}"
+                )
+            if instr.op == "phi" and idx > block.first_non_phi_index() - 1 and (
+                block.instructions[idx - 1].op != "phi" if idx else False
+            ):
+                raise VerificationError(
+                    f"{function.name}: phi not grouped at head of {block.name}"
+                )
+            for target in instr.targets:
+                if target not in blocks:
+                    raise VerificationError(
+                        f"{function.name}: {block.name} branches to removed block "
+                        f"{target.name}"
+                    )
+            _check_types(function, instr)
+            defined.add(instr)
+
+    preds = function.compute_preds()
+    for block in function.blocks:
+        expected = preds[block]
+        for phi in block.phis():
+            if len(phi.operands) != len(phi.phi_blocks):
+                raise VerificationError(
+                    f"{function.name}: phi operand/block arity mismatch in {block.name}"
+                )
+            incoming = set(phi.phi_blocks)
+            if incoming != set(expected):
+                names = sorted(b.name for b in incoming)
+                want = sorted(b.name for b in expected)
+                raise VerificationError(
+                    f"{function.name}: phi in {block.name} has incoming {names}, "
+                    f"preds are {want}"
+                )
+
+    _check_dominance(function, defined)
+
+
+def _check_types(function: Function, instr: Instruction) -> None:
+    if instr.op == "load":
+        ptr = instr.operands[0]
+        if not isinstance(ptr.type, PointerType):
+            raise VerificationError(
+                f"{function.name}: load from non-pointer in {instr!r}"
+            )
+    elif instr.op == "store":
+        ptr = instr.operands[1]
+        if not isinstance(ptr.type, PointerType):
+            raise VerificationError(
+                f"{function.name}: store to non-pointer in {instr!r}"
+            )
+    elif instr.op == "condbr":
+        if len(instr.targets) != 2:
+            raise VerificationError(f"{function.name}: condbr needs two targets")
+    elif instr.op == "gep":
+        if len(instr.gep_scales) != len(instr.operands) - 1:
+            raise VerificationError(
+                f"{function.name}: gep scale/operand arity mismatch"
+            )
+
+
+def _check_dominance(function: Function, defined: set[Instruction]) -> None:
+    domtree = DominatorTree(function)
+    reachable = domtree.reachable()
+    positions: dict[Instruction, int] = {}
+    for block in function.blocks:
+        for idx, instr in enumerate(block.instructions):
+            positions[instr] = idx
+    for block in function.blocks:
+        if block not in reachable:
+            continue
+        for instr in block.instructions:
+            operands = instr.operands
+            for op_index, operand in enumerate(operands):
+                if isinstance(operand, (Constant, Argument, GlobalVariable)):
+                    continue
+                if not isinstance(operand, Instruction):
+                    continue
+                if operand not in defined:
+                    raise VerificationError(
+                        f"{function.name}: {instr!r} uses value from removed "
+                        f"instruction {operand.op}"
+                    )
+                def_block = operand.block
+                if def_block is None or def_block not in reachable:
+                    continue
+                if instr.op == "phi":
+                    incoming = instr.phi_blocks[op_index]
+                    if not domtree.dominates(def_block, incoming):
+                        raise VerificationError(
+                            f"{function.name}: phi incoming value does not dominate "
+                            f"edge from {incoming.name}"
+                        )
+                    continue
+                if def_block is instr.block:
+                    if positions[operand] >= positions[instr]:
+                        raise VerificationError(
+                            f"{function.name}: use before def of {operand.op} "
+                            f"in {block.name}"
+                        )
+                elif not domtree.dominates(def_block, instr.block):
+                    raise VerificationError(
+                        f"{function.name}: def in {def_block.name} does not dominate "
+                        f"use in {block.name} ({instr!r})"
+                    )

@@ -1,0 +1,27 @@
+"""MiniC++ frontend: lexer, parser, semantic analysis, IR lowering."""
+
+from . import ast
+from .lexer import LexError, Token, tokenize
+from .lower import LowerError, UnitLowerer, lower_translation_unit
+from .parser import ParseError, Parser, parse
+from .restrictions import Violation, check_kernel
+from .sema import ClassInfo, MethodInfo, Sema, SemaError
+
+__all__ = [
+    "ClassInfo",
+    "LexError",
+    "LowerError",
+    "MethodInfo",
+    "ParseError",
+    "Parser",
+    "Sema",
+    "SemaError",
+    "Token",
+    "UnitLowerer",
+    "Violation",
+    "ast",
+    "check_kernel",
+    "lower_translation_unit",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,187 @@
+"""Lexer for MiniC++, the C++ subset accepted by the reproduction compiler.
+
+Covers the lexical needs of the paper's workloads: identifiers, keywords,
+integer/float/char/bool literals, the full C++ operator set used by
+expression code (including ``->``, ``::``, ``<<``/``>>``, compound
+assignments, increment/decrement), and both comment styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset(
+    """
+    bool break char class const continue delete do double else false float
+    for if int long namespace new operator private protected public return
+    short signed sizeof static static_cast struct template this true typename
+    unsigned virtual void while using
+    """.split()
+)
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "->*", "...",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^", "?",
+    ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'char' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+    value: object = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def advance(n: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(n):
+            if pos < length and source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = source[pos]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            advance((end - pos) if end != -1 else (length - pos))
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line, col)
+            advance(end + 2 - pos)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            start_line, start_col = line, col
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                advance(1)
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, start_line, start_col)
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            yield _number(source, pos, line, col, advance)
+            continue
+        if ch == "'":
+            start_line, start_col = line, col
+            advance(1)
+            if pos < length and source[pos] == "\\":
+                advance(1)
+                escape = source[pos]
+                mapping = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39}
+                if escape not in mapping:
+                    raise LexError(f"unknown escape \\{escape}", line, col)
+                value = mapping[escape]
+                advance(1)
+            else:
+                value = ord(source[pos])
+                advance(1)
+            if pos >= length or source[pos] != "'":
+                raise LexError("unterminated character literal", line, col)
+            advance(1)
+            yield Token("char", source[pos - 3 : pos], start_line, start_col, value)
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, pos):
+                yield Token("op", operator, line, col)
+                advance(len(operator))
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)
+
+
+def _number(source: str, pos: int, line: int, col: int, advance) -> Token:
+    start = pos
+    length = len(source)
+    is_float = False
+    if source.startswith(("0x", "0X"), pos):
+        end = pos + 2
+        while end < length and source[end] in "0123456789abcdefABCDEF":
+            end += 1
+        text = source[start:end]
+        advance(end - pos)
+        _skip_int_suffix(source, advance)
+        return Token("int", text, line, col, int(text, 16))
+    end = pos
+    while end < length and source[end].isdigit():
+        end += 1
+    if end < length and source[end] == "." and not source.startswith("..", end):
+        is_float = True
+        end += 1
+        while end < length and source[end].isdigit():
+            end += 1
+    if end < length and source[end] in "eE":
+        mark = end + 1
+        if mark < length and source[mark] in "+-":
+            mark += 1
+        if mark < length and source[mark].isdigit():
+            is_float = True
+            end = mark
+            while end < length and source[end].isdigit():
+                end += 1
+    text = source[start:end]
+    advance(end - pos)
+    if is_float:
+        suffix_f = False
+        # optional f/F suffix
+        # (we peek via the original source — advance already consumed digits)
+        nonlocal_pos = end
+        if nonlocal_pos < length and source[nonlocal_pos] in "fF":
+            suffix_f = True
+            advance(1)
+        return Token("float", text + ("f" if suffix_f else ""), line, col, float(text))
+    value = int(text)
+    _skip_int_suffix(source, advance, at=end)
+    return Token("int", text, line, col, value)
+
+
+def _skip_int_suffix(source: str, advance, at: int = -1) -> None:
+    # Accept (and ignore) u/U/l/L suffixes such as 10u, 3UL, 7LL.
+    # ``advance`` tracks position internally, so we just consume greedily.
+    # We cannot read the position back from advance, so callers pass ``at``.
+    if at == -1:
+        return
+    pos = at
+    count = 0
+    while pos < len(source) and source[pos] in "uUlL" and count < 3:
+        pos += 1
+        count += 1
+    for _ in range(count):
+        advance(1)

@@ -1,0 +1,97 @@
+"""Dominator-scoped common subexpression elimination.
+
+Walks the dominator tree with a scoped hash table of available pure
+expressions (the paper leans on classical sub-expression elimination to
+keep SVM translation arithmetic from being recomputed; PTROPT then removes
+the remaining translations).  Loads are *not* CSE'd — we have no alias
+analysis for arbitrary pointer programs, so only arithmetic, casts, geps,
+comparisons, selects and pure intrinsic calls participate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Constant, DominatorTree, Function, Instruction
+from ..ir.values import COMMUTATIVE_OPS, BINARY_OPS, CAST_OPS
+
+
+def common_subexpression_elimination(function: Function) -> bool:
+    if not function.blocks:
+        return False
+    domtree = DominatorTree(function)
+    changed = [False]
+
+    def key_of(instr: Instruction) -> Optional[tuple]:
+        op = instr.op
+        if op in BINARY_OPS or op in ("icmp", "fcmp", "select"):
+            ids = [_value_key(v) for v in instr.operands]
+            if None in ids:
+                return None
+            if op in COMMUTATIVE_OPS or (
+                op == "icmp" and instr.pred in ("eq", "ne")
+            ):
+                ids = sorted(ids)
+            return (op, instr.pred, instr.type, tuple(ids))
+        if op in CAST_OPS:
+            k = _value_key(instr.operands[0])
+            return None if k is None else (op, instr.type, k)
+        if op == "gep":
+            ids = [_value_key(v) for v in instr.operands]
+            if None in ids:
+                return None
+            return (
+                "gep",
+                instr.type,
+                instr.gep_offset,
+                tuple(instr.gep_scales),
+                tuple(ids),
+            )
+        if op == "call" and instr.callee is not None and not instr.has_side_effects:
+            ids = [_value_key(v) for v in instr.operands]
+            if None in ids:
+                return None
+            return ("call", instr.callee.name, tuple(ids))
+        return None
+
+    def walk(block, scope: dict) -> None:
+        local = dict(scope)
+        for instr in list(block.instructions):
+            key = key_of(instr)
+            if key is None:
+                continue
+            existing = local.get(key)
+            if existing is not None:
+                _replace_all_uses(function, instr, existing)
+                block.remove(instr)
+                changed[0] = True
+            else:
+                local[key] = instr
+        for child in domtree.children.get(block, ()):
+            walk(child, local)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 2 * len(function.blocks) + 200))
+    try:
+        walk(function.entry, {})
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return changed[0]
+
+
+def _value_key(value):
+    if isinstance(value, Constant):
+        return ("const", value.type, value.value)
+    if isinstance(value, Instruction):
+        return ("instr", value.uid)
+    name = getattr(value, "name", None)
+    if name is not None:
+        return ("named", type(value).__name__, name)
+    return None
+
+
+def _replace_all_uses(function: Function, old, new) -> None:
+    for instr in function.instructions():
+        instr.replace_uses_of(old, new)

@@ -1,0 +1,161 @@
+"""Promote alloca'd scalars to SSA registers (the classic mem2reg pass).
+
+This is the paper's "aggressive register promotion": GPU register files are
+large, so every promotable local — including the pointer-typed temporaries
+the SVM lowering will later care about — is lifted out of memory.  Standard
+algorithm: phi insertion at iterated dominance frontiers, then renaming via
+a depth-first walk of the dominator tree.
+
+An alloca is promotable when every use is a direct ``load`` or a ``store``
+of a *value* into it (not of its address) and the allocated type is scalar.
+Taking the address of a local (which the paper's model forbids on the GPU;
+the restriction checker flags it) blocks promotion.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..ir import (
+    Constant,
+    DominatorTree,
+    Function,
+    Instruction,
+    add_phi_incoming,
+)
+from ..ir.types import FloatType, IntType, PointerType
+
+
+def promote_memory_to_registers(function: Function) -> bool:
+    if not function.blocks:
+        return False
+    allocas = _promotable_allocas(function)
+    if not allocas:
+        return False
+
+    domtree = DominatorTree(function)
+    reachable = domtree.reachable()
+    preds = function.compute_preds()
+
+    # 1. Phi placement at iterated dominance frontiers of defining blocks.
+    phis: dict[Instruction, dict] = {}  # alloca -> {block: phi}
+    for alloca in allocas:
+        def_blocks = {
+            use.block
+            for use in _uses_of(function, alloca)
+            if use.op == "store" and use.block in reachable
+        }
+        placed: dict = {}
+        worklist = list(def_blocks)
+        seen = set(def_blocks)
+        while worklist:
+            block = worklist.pop()
+            for frontier_block in domtree.frontier.get(block, ()):
+                if frontier_block in placed:
+                    continue
+                phi = Instruction("phi", alloca.alloc_type, [], name=f"{alloca.name}.phi")
+                frontier_block.insert(0, phi)
+                placed[frontier_block] = phi
+                if frontier_block not in seen:
+                    seen.add(frontier_block)
+                    worklist.append(frontier_block)
+        phis[alloca] = placed
+
+    # 2. Renaming along the dominator tree.
+    undef = {a: _undef_value(a.alloc_type) for a in allocas}
+    alloca_set = set(allocas)
+    stacks: dict[Instruction, list] = {a: [] for a in allocas}
+
+    def current(alloca: Instruction):
+        return stacks[alloca][-1] if stacks[alloca] else undef[alloca]
+
+    def rename(block) -> None:
+        pushed: list[Instruction] = []
+        for alloca, placed in phis.items():
+            phi = placed.get(block)
+            if phi is not None:
+                stacks[alloca].append(phi)
+                pushed.append(alloca)
+        for instr in list(block.instructions):
+            if instr in alloca_set:
+                block.remove(instr)
+                continue
+            if instr.op == "load" and instr.operands[0] in alloca_set:
+                alloca = instr.operands[0]
+                _replace_all_uses(function, instr, current(alloca))
+                block.remove(instr)
+                continue
+            if instr.op == "store" and instr.operands[1] in alloca_set:
+                alloca = instr.operands[1]
+                stacks[alloca].append(instr.operands[0])
+                pushed.append(alloca)
+                block.remove(instr)
+                continue
+        for succ in block.successors():
+            for alloca, placed in phis.items():
+                phi = placed.get(succ)
+                if phi is not None:
+                    add_phi_incoming(phi, current(alloca), block)
+        for child in domtree.children.get(block, ()):
+            rename(child)
+        for alloca in pushed:
+            stacks[alloca].pop()
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 2 * len(function.blocks) + 200))
+    try:
+        rename(function.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # Prune phis whose block became unreachable mentions or that merge a
+    # single distinct value; keep it simple, later DCE/simplifycfg finish up.
+    return True
+
+
+def _promotable_allocas(function: Function) -> list[Instruction]:
+    uses: dict[Instruction, list[Instruction]] = defaultdict(list)
+    allocas: list[Instruction] = []
+    for instr in function.instructions():
+        if instr.op == "alloca":
+            alloc_type = instr.alloc_type
+            if isinstance(alloc_type, (IntType, FloatType, PointerType)):
+                allocas.append(instr)
+        for operand in instr.operands:
+            if isinstance(operand, Instruction):
+                uses[operand].append(instr)
+    result = []
+    for alloca in allocas:
+        ok = True
+        for use in uses.get(alloca, ()):
+            if use.op == "load" and use.operands[0] is alloca:
+                continue
+            if use.op == "store" and use.operands[1] is alloca and use.operands[0] is not alloca:
+                continue
+            ok = False
+            break
+        if ok:
+            result.append(alloca)
+    return result
+
+
+def _uses_of(function: Function, value: Instruction) -> list[Instruction]:
+    return [
+        instr
+        for instr in function.instructions()
+        if value in instr.operands
+    ]
+
+
+def _replace_all_uses(function: Function, old, new) -> None:
+    for instr in function.instructions():
+        instr.replace_uses_of(old, new)
+
+
+def _undef_value(type_):
+    """A benign default for paths that read before writing (UB in C++)."""
+    if isinstance(type_, FloatType):
+        return Constant(type_, 0.0)
+    return Constant(type_, 0)

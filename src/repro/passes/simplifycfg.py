@@ -1,0 +1,116 @@
+"""CFG simplification: merge straight-line block chains, thread trivial
+jumps, and drop empty forwarding blocks (keeping phi edges consistent)."""
+
+from __future__ import annotations
+
+from ..ir import Function, Instruction
+
+
+def simplify_cfg(function: Function) -> bool:
+    if not function.blocks:
+        return False
+    changed = False
+    changed = _merge_linear_chains(function) or changed
+    changed = _remove_forwarding_blocks(function) or changed
+    return changed
+
+
+def _merge_linear_chains(function: Function) -> bool:
+    """Merge B into A when A's only successor is B and B's only
+    predecessor is A."""
+    changed = False
+    again = True
+    while again:
+        again = False
+        preds = function.compute_preds()
+        for block in list(function.blocks):
+            term = block.terminator
+            if term is None or term.op != "br":
+                continue
+            succ = term.targets[0]
+            if succ is block or succ is function.entry:
+                continue
+            if len(preds[succ]) != 1:
+                continue
+            if succ.phis():
+                for phi in succ.phis():
+                    # Single predecessor: the phi is trivial.
+                    value = phi.operands[0] if phi.operands else None
+                    if value is None:
+                        continue
+                    _replace_all_uses(function, phi, value)
+                    succ.remove(phi)
+            block.remove(term)
+            for instr in list(succ.instructions):
+                succ.remove(instr)
+                block.append(instr)
+            _redirect_phi_blocks(function, succ, block)
+            function.remove_block(succ)
+            changed = True
+            again = True
+            break
+    return changed
+
+
+def _remove_forwarding_blocks(function: Function) -> bool:
+    """Remove blocks containing only ``br target`` by retargeting their
+    predecessors, when phi consistency allows it."""
+    changed = False
+    again = True
+    while again:
+        again = False
+        preds = function.compute_preds()
+        for block in list(function.blocks):
+            if block is function.entry:
+                continue
+            if len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if term is None or term.op != "br":
+                continue
+            target = term.targets[0]
+            if target is block:
+                continue
+            block_preds = preds[block]
+            if not block_preds:
+                continue
+            # A phi in the target distinguishes incoming edges; retargeting
+            # is safe only if no pred already flows into target (it would
+            # create a duplicate edge with possibly-different phi values).
+            if target.phis():
+                target_preds = set(preds[target])
+                if any(p in target_preds for p in block_preds):
+                    continue
+                for phi in target.phis():
+                    if block in phi.phi_blocks:
+                        idx = phi.phi_blocks.index(block)
+                        incoming_value = phi.operands[idx]
+                        del phi.phi_blocks[idx]
+                        del phi.operands[idx]
+                        for pred in block_preds:
+                            phi.phi_blocks.append(pred)
+                            phi.operands.append(incoming_value)
+            for pred in block_preds:
+                pterm = pred.terminator
+                if pterm is not None:
+                    pterm.targets = [
+                        target if t is block else t for t in pterm.targets
+                    ]
+            function.remove_block(block)
+            changed = True
+            again = True
+            break
+    return changed
+
+
+def _redirect_phi_blocks(function: Function, old_block, new_block) -> None:
+    for block in function.blocks:
+        for phi in block.phis():
+            phi.phi_blocks = [
+                new_block if b is old_block else b for b in phi.phi_blocks
+            ]
+
+
+def _replace_all_uses(function: Function, old, new) -> None:
+    for instr in function.instructions():
+        instr.replace_uses_of(old, new)

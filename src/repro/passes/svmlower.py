@@ -1,0 +1,108 @@
+"""SVM pointer-translation lowering (paper section 3.1).
+
+Shared pointers are CPU virtual addresses.  Before the GPU dereferences
+one, it must be rebased into the GPU address space:
+
+    gpu_ptr = cpu_ptr + svm_const        (svm_const = gpu_base - cpu_base)
+
+This pass makes that explicit in kernel IR by inserting ``svm.to_gpu``
+intrinsic calls.  Two modes:
+
+* **Baseline ("GPU" configuration)** — *lazy at every dereference*: each
+  ``load``/``store``/atomic address operand is translated immediately
+  before the access.  This is what the paper's unoptimized code generator
+  produces: translation arithmetic executes at every access, including on
+  every iteration of loops (the Figure 4 discussion).
+
+* With **PTROPT** (:mod:`repro.passes.ptropt`) the later pass rewrites the
+  result: pointers get a single eager translation at their definition, uses
+  choose the CPU or GPU representation, redundant translations are CSE'd,
+  unused ones DCE'd, and remaining ones sunk toward their use.
+
+Values considered *shared pointers* are pointer-typed values that originate
+from kernel arguments, memory loads, or pointer arithmetic over those —
+i.e. everything except ``alloca`` results (private memory needs no
+translation) and values already produced by ``svm.to_gpu``.
+"""
+
+from __future__ import annotations
+
+from ..ir import Function, Instruction, IRBuilder
+from ..ir.intrinsics import SVM_TO_GPU
+from ..ir.types import PointerType
+
+
+#: attribute set on kernels once lowering ran (idempotence guard)
+_LOWERED_FLAG = "svm_lowered"
+
+#: ops whose pointer operand is a device memory access: op -> operand index
+MEMORY_ADDRESS_OPERANDS = {
+    "load": 0,
+    "store": 1,
+}
+
+ATOMIC_PREFIX = "atomic."
+
+
+def lower_svm_pointers(function: Function) -> bool:
+    if function.attributes.get(_LOWERED_FLAG):
+        return False
+    changed = False
+    for block in function.blocks:
+        index = 0
+        while index < len(block.instructions):
+            instr = block.instructions[index]
+            address_positions = _address_positions(instr)
+            for pos in address_positions:
+                address = instr.operands[pos]
+                if not _needs_translation(address):
+                    continue
+                translate = Instruction(
+                    "call", address.type, [address], name="gpu_ptr"
+                )
+                translate.callee = SVM_TO_GPU
+                block.insert(index, translate)
+                index += 1
+                instr.operands[pos] = translate
+                changed = True
+            index += 1
+    function.attributes[_LOWERED_FLAG] = True
+    return changed
+
+
+def _address_positions(instr: Instruction) -> list[int]:
+    if instr.op in MEMORY_ADDRESS_OPERANDS:
+        return [MEMORY_ADDRESS_OPERANDS[instr.op]]
+    if (
+        instr.op == "call"
+        and instr.callee is not None
+        and instr.callee.name.startswith(ATOMIC_PREFIX)
+    ):
+        return [0]
+    return []
+
+
+def _needs_translation(value) -> bool:
+    if not isinstance(value.type, PointerType):
+        return False
+    if isinstance(value, Instruction):
+        if value.op == "alloca":
+            return False  # private (thread-local) memory
+        if value.op == "call" and value.callee is SVM_TO_GPU:
+            return False  # already translated
+        if value.op == "gep":
+            # A gep over an already-translated or private base is fine.
+            return _needs_translation_base(value)
+    return True
+
+
+def _needs_translation_base(gep: Instruction) -> bool:
+    base = gep.operands[0]
+    if isinstance(base, Instruction):
+        if base.op == "alloca":
+            return False
+        if base.op == "call" and base.callee is SVM_TO_GPU:
+            return False
+        if base.op == "gep":
+            return _needs_translation_base(base)
+    return True

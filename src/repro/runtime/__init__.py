@@ -1,0 +1,19 @@
+"""Concord runtime: compiler driver, offload, parallel constructs."""
+
+from ..passes import OptConfig
+from .compiler import CompiledProgram, ConcordWarning, KernelInfo, compile_source
+from .runtime import ConcordRuntime, ExecutionReport
+from .system import System, desktop, ultrabook
+
+__all__ = [
+    "CompiledProgram",
+    "ConcordRuntime",
+    "ConcordWarning",
+    "ExecutionReport",
+    "KernelInfo",
+    "OptConfig",
+    "System",
+    "compile_source",
+    "desktop",
+    "ultrabook",
+]

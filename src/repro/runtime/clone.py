@@ -1,0 +1,51 @@
+"""Whole-function cloning (used to produce device-lowered kernel copies)."""
+
+from __future__ import annotations
+
+from .. import ir
+from ..ir import BasicBlock, Constant, Function, GlobalVariable, Instruction, Module
+
+
+def clone_function(module: Module, source: Function, new_name: str) -> Function:
+    """Deep-copy ``source`` into ``module`` under ``new_name``.
+
+    Called functions are shared, not cloned (device lowering only rewrites
+    the kernel body itself after inlining has flattened it).
+    """
+    clone = Function(new_name, source.ftype, [a.name for a in source.args])
+    clone.attributes = dict(source.attributes)
+    module.add_function(clone)
+
+    vmap: dict[object, object] = {}
+    for old_arg, new_arg in zip(source.args, clone.args):
+        vmap[old_arg] = new_arg
+    block_map: dict[BasicBlock, BasicBlock] = {}
+    for block in source.blocks:
+        block_map[block] = clone.new_block(block.name)
+    for block in source.blocks:
+        new_block = block_map[block]
+        for instr in block.instructions:
+            copy = Instruction(instr.op, instr.type, list(instr.operands), instr.name)
+            copy.pred = instr.pred
+            copy.alloc_type = instr.alloc_type
+            copy.callee = instr.callee
+            copy.gep_offset = instr.gep_offset
+            copy.gep_scales = list(instr.gep_scales)
+            copy.vslot = instr.vslot
+            copy.vclass = instr.vclass
+            copy.annotations = dict(instr.annotations)
+            new_block.append(copy)
+            vmap[instr] = copy
+    for block in source.blocks:
+        for instr in block.instructions:
+            copy = vmap[instr]
+            copy.operands = [_mapped(vmap, o) for o in instr.operands]
+            copy.targets = [block_map[t] for t in instr.targets]
+            copy.phi_blocks = [block_map[b] for b in instr.phi_blocks]
+    return clone
+
+
+def _mapped(vmap, value):
+    if isinstance(value, (Constant, GlobalVariable)) or value is None:
+        return value
+    return vmap.get(value, value)

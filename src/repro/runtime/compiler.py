@@ -1,0 +1,213 @@
+"""The static Concord compiler driver (paper Figure 2, left column).
+
+``compile_source`` runs the full pipeline:
+
+1. parse MiniC++ and run semantic analysis;
+2. lower to IR (CLANG/LLVM stand-in);
+3. discover heterogeneous loop-body classes — any class with
+   ``operator()(int)`` is offloadable; a ``join(Body&)`` method makes it a
+   reduction body;
+4. generate a kernel wrapper per body class (the ``__kernel`` entry that
+   fetches ``get_global_id(0)`` and invokes the body), plus a join wrapper
+   for reductions;
+5. run the standard optimization pipeline on everything, then the
+   device-lowering pipeline (devirt, SVM, PTROPT/L3OPT per config) on each
+   kernel;
+6. run the restriction checker; flagged kernels are marked CPU-only with a
+   compile-time warning, exactly as the paper describes;
+7. emit OpenCL C text for each kernel and embed it in the returned
+   :class:`CompiledProgram` (the "executable: IA binary + OpenCL").
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .. import ir
+from ..ir import Function, FunctionType, IRBuilder, Module
+from ..ir.intrinsics import GPU_GLOBAL_ID
+from ..ir.types import I32, PointerType, VOID, ptr
+from ..minicpp import Sema, UnitLowerer, check_kernel, parse
+from ..minicpp.sema import ClassInfo
+from ..passes import OptConfig, kernel_pipeline, standard_pipeline
+
+
+class ConcordWarning(UserWarning):
+    """Compile-time warning for restriction violations (paper section 2.1)."""
+
+
+@dataclass
+class KernelInfo:
+    """One offloadable loop body: its kernel entry and metadata."""
+
+    body_class: ClassInfo
+    kernel: Function  # CPU-form kernel (per-iteration entry, pre device lowering)
+    gpu_kernel: Function  # device-lowered kernel (SVM translations etc.)
+    join_kernel: Optional[Function] = None  # reductions only
+    construct: str = "for"  # 'for' | 'reduce'
+    cpu_only: bool = False
+    violations: list = field(default_factory=list)
+    opencl_source: str = ""
+    #: section 3.3 wrapper (reductions only): private copies + local-memory
+    #: tree reduction
+    reduce_wrapper_source: str = ""
+
+
+@dataclass
+class CompiledProgram:
+    """The 'executable' the static compiler produces: IR for the CPU plus
+    embedded OpenCL (here: device-lowered IR + OpenCL C text) for the GPU."""
+
+    module: Module
+    sema: Sema
+    kernels: dict[str, KernelInfo]
+    config: OptConfig
+    source: str
+
+    def kernel_for(self, class_name: str) -> KernelInfo:
+        if class_name not in self.kernels:
+            raise KeyError(
+                f"no heterogeneous body class {class_name!r}; "
+                f"available: {sorted(self.kernels)}"
+            )
+        return self.kernels[class_name]
+
+    def class_info(self, class_name: str) -> ClassInfo:
+        info = self.sema.lookup_class(class_name)
+        if info is None:
+            raise KeyError(f"unknown class {class_name}")
+        return info
+
+
+def compile_source(
+    source: str,
+    config: Optional[OptConfig] = None,
+    module_name: str = "concord",
+) -> CompiledProgram:
+    config = config or OptConfig.gpu_all()
+    unit = parse(source)
+    sema = Sema(unit)
+    lowerer = UnitLowerer(sema, ir.Module(module_name))
+    module = lowerer.lower_unit()
+
+    kernels: dict[str, KernelInfo] = {}
+    for info in list(sema.classes.values()):
+        body_ops = [
+            m
+            for m in info.methods.get("operator()", ())
+            if len(m.decl.params) == 1
+        ]
+        if not body_ops or body_ops[0].ir_function is None:
+            continue
+        operator = body_ops[0]
+        joins = [
+            m for m in info.methods.get("join", ()) if len(m.decl.params) == 1
+        ]
+        construct = "reduce" if joins else "for"
+        kernel = _make_kernel_wrapper(module, info, operator.ir_function)
+        join_kernel = None
+        if joins and joins[0].ir_function is not None:
+            join_kernel = _make_join_wrapper(module, info, joins[0].ir_function)
+        kernels[info.name] = KernelInfo(
+            body_class=info,
+            kernel=kernel,
+            gpu_kernel=kernel,  # replaced below after device lowering
+            join_kernel=join_kernel,
+            construct=construct,
+        )
+
+    # Standard pipeline over every function with a body.
+    for function in list(module.functions.values()):
+        if function.blocks:
+            standard_pipeline(module, function, config)
+
+    # Device lowering per kernel (on a clone, so the CPU path keeps
+    # untranslated IR — the CPU dereferences CPU pointers natively).
+    from .clone import clone_function
+
+    for kinfo in kernels.values():
+        kinfo.violations = check_kernel(module, kinfo.kernel)
+        if config.device_alloc:
+            # Extension (paper future work): device-side allocation is
+            # supported through the bump allocator, so it is no longer a
+            # restriction.
+            kinfo.violations = [
+                v for v in kinfo.violations if v.kind != "gpu-allocation"
+            ]
+        if kinfo.violations:
+            kinfo.cpu_only = True
+            details = "; ".join(str(v) for v in kinfo.violations)
+            warnings.warn(
+                f"Concord: {kinfo.body_class.name} cannot run on the GPU "
+                f"({details}); falling back to CPU execution",
+                ConcordWarning,
+                stacklevel=2,
+            )
+            continue
+        gpu_kernel = clone_function(
+            module, kinfo.kernel, kinfo.kernel.name + ".gpu"
+        )
+        kernel_pipeline(module, gpu_kernel, config)
+        kinfo.gpu_kernel = gpu_kernel
+        from ..codegen.opencl import emit_kernel_opencl
+
+        kinfo.opencl_source = emit_kernel_opencl(module, gpu_kernel)
+        if kinfo.join_kernel is not None:
+            gpu_join = clone_function(
+                module, kinfo.join_kernel, kinfo.join_kernel.name + ".gpu"
+            )
+            kernel_pipeline(module, gpu_join, config)
+            kinfo.gpu_join_kernel = gpu_join
+            from ..codegen.opencl import emit_reduce_wrapper_opencl
+            from .runtime import REDUCTION_GROUP_SIZE
+
+            kinfo.reduce_wrapper_source = emit_reduce_wrapper_opencl(
+                module,
+                kinfo.body_class.struct_type.name,
+                kinfo.body_class.struct_type.size(),
+                gpu_kernel,
+                gpu_join,
+                group_size=REDUCTION_GROUP_SIZE,
+            )
+        else:
+            kinfo.gpu_join_kernel = None
+
+    return CompiledProgram(
+        module=module, sema=sema, kernels=kernels, config=config, source=source
+    )
+
+
+def _make_kernel_wrapper(module: Module, info: ClassInfo, operator_fn: Function) -> Function:
+    """``void kernel.<Class>(Class* body, int i)`` calling operator()."""
+    name = f"kernel.{info.struct_type.name}"
+    ftype = FunctionType(VOID, (ptr(info.struct_type), I32))
+    kernel = Function(name, ftype, ["body", "i"])
+    kernel.attributes["kernel"] = True
+    kernel.attributes["body_class"] = info.name
+    module.add_function(kernel)
+    entry = kernel.new_block("entry")
+    builder = IRBuilder(entry)
+    # The index argument *is* get_global_id(0) on the device; the runtime
+    # passes the iteration index explicitly so the same wrapper runs on the
+    # CPU.  The L3OPT pass uses the gpu.global_id intrinsic, which the
+    # executor binds to the same value.
+    builder.call(operator_fn, [kernel.args[0], kernel.args[1]])
+    builder.ret()
+    return kernel
+
+
+def _make_join_wrapper(module: Module, info: ClassInfo, join_fn: Function) -> Function:
+    """``void join.<Class>(Class* into, Class* from)``."""
+    name = f"join.{info.struct_type.name}"
+    ftype = FunctionType(VOID, (ptr(info.struct_type), ptr(info.struct_type)))
+    kernel = Function(name, ftype, ["into", "from"])
+    kernel.attributes["kernel"] = True
+    kernel.attributes["join_of"] = info.name
+    module.add_function(kernel)
+    entry = kernel.new_block("entry")
+    builder = IRBuilder(entry)
+    builder.call(join_fn, [kernel.args[0], kernel.args[1]])
+    builder.ret()
+    return kernel

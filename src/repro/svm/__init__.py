@@ -1,0 +1,34 @@
+"""Software shared virtual memory (paper section 3.1)."""
+
+from .allocator import OutOfSharedMemory, SharedAllocator
+from .memory import MemoryFault, PhysicalMemory
+from .region import DEFAULT_CPU_BASE, DEFAULT_GPU_BASE, SharedRegion, Surface
+from .views import (
+    ArrayView,
+    ScalarView,
+    StructView,
+    SvmHeap,
+    address_of,
+    make_view,
+    read_typed,
+    write_typed,
+)
+
+__all__ = [
+    "ArrayView",
+    "DEFAULT_CPU_BASE",
+    "DEFAULT_GPU_BASE",
+    "MemoryFault",
+    "OutOfSharedMemory",
+    "PhysicalMemory",
+    "ScalarView",
+    "SharedAllocator",
+    "SharedRegion",
+    "StructView",
+    "Surface",
+    "SvmHeap",
+    "address_of",
+    "make_view",
+    "read_typed",
+    "write_typed",
+]

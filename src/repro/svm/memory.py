@@ -1,0 +1,83 @@
+"""Simulated physical memory.
+
+One flat byte array stands in for the physical memory that an integrated
+processor shares between CPU and GPU.  Typed accessors read and write
+scalars at *physical offsets*; the address-space logic (CPU virtual
+addresses, GPU surface-relative addresses) lives in
+:mod:`repro.svm.region`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class MemoryFault(Exception):
+    """Out-of-range or misaligned access in the simulated memory."""
+
+
+_SCALAR_FORMATS = {
+    ("int", 1, True): "b",
+    ("int", 1, False): "B",
+    ("int", 2, True): "h",
+    ("int", 2, False): "H",
+    ("int", 4, True): "i",
+    ("int", 4, False): "I",
+    ("int", 8, True): "q",
+    ("int", 8, False): "Q",
+    ("float", 4, True): "f",
+    ("float", 8, True): "d",
+}
+
+
+class PhysicalMemory:
+    """A fixed-size byte array with typed little-endian accessors."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.data = bytearray(size)
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or offset + nbytes > self.size:
+            raise MemoryFault(
+                f"physical access [{offset}, {offset + nbytes}) outside "
+                f"[0, {self.size})"
+            )
+
+    def read_int(self, offset: int, nbytes: int, signed: bool) -> int:
+        self._check(offset, nbytes)
+        return int.from_bytes(
+            self.data[offset : offset + nbytes], "little", signed=signed
+        )
+
+    def write_int(self, offset: int, nbytes: int, value: int, signed: bool) -> None:
+        self._check(offset, nbytes)
+        mask = (1 << (nbytes * 8)) - 1
+        value &= mask
+        if signed and value >= 1 << (nbytes * 8 - 1):
+            value -= 1 << (nbytes * 8)
+        self.data[offset : offset + nbytes] = value.to_bytes(
+            nbytes, "little", signed=signed
+        )
+
+    def read_float(self, offset: int, nbytes: int) -> float:
+        self._check(offset, nbytes)
+        fmt = "<f" if nbytes == 4 else "<d"
+        return struct.unpack_from(fmt, self.data, offset)[0]
+
+    def write_float(self, offset: int, nbytes: int, value: float) -> None:
+        self._check(offset, nbytes)
+        fmt = "<f" if nbytes == 4 else "<d"
+        struct.pack_into(fmt, self.data, offset, value)
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        self._check(offset, nbytes)
+        return bytes(self.data[offset : offset + nbytes])
+
+    def write_bytes(self, offset: int, payload: bytes) -> None:
+        self._check(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    def fill(self, offset: int, nbytes: int, byte: int = 0) -> None:
+        self._check(offset, nbytes)
+        self.data[offset : offset + nbytes] = bytes([byte]) * nbytes

@@ -1,0 +1,137 @@
+"""The shared virtual memory region (paper section 3.1).
+
+At program startup Concord creates one virtual memory region shared between
+the CPU and the GPU.  The CPU sees it at ``cpu_base`` in its virtual address
+space; the GPU sees the same physical bytes through a *surface* referenced
+by a binding-table entry, at ``gpu_base`` in its address space.  The runtime
+constant
+
+    svm_const = gpu_base - cpu_base
+
+translates a CPU pointer into a GPU pointer with a single add.  Pointers
+stored inside shared data structures are always in CPU representation, so
+the same bytes mean the same thing on both devices.
+
+We model both address spaces explicitly and make the GPU side *strict*: a
+GPU access with an address outside the surface window raises a
+:class:`~repro.svm.memory.MemoryFault`, exactly as dereferencing an
+untranslated CPU pointer would fault a real kernel.  This gives the SVM
+lowering pass observable teeth — tests assert that skipping translation
+faults and that translated programs do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import MemoryFault, PhysicalMemory
+
+#: Default CPU virtual base of the shared heap (arbitrary, looks like a
+#: user-space mmap address).
+DEFAULT_CPU_BASE = 0x0000_7F00_0000_0000
+#: Default GPU virtual base: binding-table surfaces live low in the GPU's
+#: segmented address space.
+DEFAULT_GPU_BASE = 0x0000_0000_4000_0000
+
+
+@dataclass(frozen=True)
+class Surface:
+    """A GPU surface backing the shared region.
+
+    On Gen7.5 a GPU pointer is a binding-table index plus an offset; the
+    shared region is pinned for the duration of kernel execution and its
+    binding-table entry is constant, which is what makes the cheap
+    add-a-constant translation scheme valid.
+    """
+
+    binding_table_index: int
+    base: int
+    size: int
+    pinned: bool = True
+
+    def contains(self, address: int, nbytes: int = 1) -> bool:
+        return self.base <= address and address + nbytes <= self.base + self.size
+
+
+class SharedRegion:
+    """CPU/GPU views over one physically shared allocation."""
+
+    def __init__(
+        self,
+        size: int = 1 << 24,
+        cpu_base: int = DEFAULT_CPU_BASE,
+        gpu_base: int = DEFAULT_GPU_BASE,
+        binding_table_index: int = 0,
+    ):
+        self.physical = PhysicalMemory(size)
+        self.cpu_base = cpu_base
+        self.gpu_base = gpu_base
+        self.size = size
+        self.surface = Surface(binding_table_index, gpu_base, size)
+
+    @property
+    def svm_const(self) -> int:
+        """The runtime constant the compiler bakes into kernels."""
+        return self.gpu_base - self.cpu_base
+
+    # -- address translation ------------------------------------------------
+
+    def cpu_to_gpu(self, cpu_address: int) -> int:
+        return cpu_address + self.svm_const
+
+    def gpu_to_cpu(self, gpu_address: int) -> int:
+        return gpu_address - self.svm_const
+
+    def cpu_to_physical(self, cpu_address: int, nbytes: int = 1) -> int:
+        offset = cpu_address - self.cpu_base
+        if offset < 0 or offset + nbytes > self.size:
+            raise MemoryFault(
+                f"CPU address {cpu_address:#x} (+{nbytes}) outside the shared "
+                f"region [{self.cpu_base:#x}, {self.cpu_base + self.size:#x})"
+            )
+        return offset
+
+    def gpu_to_physical(self, gpu_address: int, nbytes: int = 1) -> int:
+        """Strict GPU-side check: addresses must fall inside the surface.
+
+        An untranslated CPU pointer lands far outside the surface window
+        and faults — the simulated equivalent of a GPU page fault.
+        """
+        if not self.surface.contains(gpu_address, nbytes):
+            raise MemoryFault(
+                f"GPU address {gpu_address:#x} (+{nbytes}) outside surface "
+                f"[{self.surface.base:#x}, "
+                f"{self.surface.base + self.surface.size:#x}) — "
+                f"untranslated shared pointer?"
+            )
+        return gpu_address - self.gpu_base
+
+    def contains_cpu(self, cpu_address: int, nbytes: int = 1) -> bool:
+        offset = cpu_address - self.cpu_base
+        return 0 <= offset and offset + nbytes <= self.size
+
+    # -- typed access through the CPU view -----------------------------------
+
+    def read_int(self, cpu_address: int, nbytes: int, signed: bool) -> int:
+        return self.physical.read_int(
+            self.cpu_to_physical(cpu_address, nbytes), nbytes, signed
+        )
+
+    def write_int(self, cpu_address: int, nbytes: int, value: int, signed: bool) -> None:
+        self.physical.write_int(
+            self.cpu_to_physical(cpu_address, nbytes), nbytes, value, signed
+        )
+
+    def read_float(self, cpu_address: int, nbytes: int) -> float:
+        return self.physical.read_float(self.cpu_to_physical(cpu_address, nbytes), nbytes)
+
+    def write_float(self, cpu_address: int, nbytes: int, value: float) -> None:
+        self.physical.write_float(
+            self.cpu_to_physical(cpu_address, nbytes), nbytes, value
+        )
+
+    def read_bytes(self, cpu_address: int, nbytes: int) -> bytes:
+        return self.physical.read_bytes(self.cpu_to_physical(cpu_address, nbytes), nbytes)
+
+    def write_bytes(self, cpu_address: int, payload: bytes) -> None:
+        self.physical.write_bytes(self.cpu_to_physical(cpu_address, len(payload)), payload)

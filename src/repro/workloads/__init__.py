@@ -1,0 +1,24 @@
+"""The nine irregular C++ workloads of the paper's evaluation (Table 1)."""
+
+from .base import RunOutcome, Workload, all_workloads, register
+from .inputs import (
+    Graph,
+    distinct_sorted_keys,
+    integral_image,
+    random_keys,
+    road_network,
+    synthetic_image,
+)
+
+__all__ = [
+    "Graph",
+    "RunOutcome",
+    "Workload",
+    "all_workloads",
+    "distinct_sorted_keys",
+    "integral_image",
+    "random_keys",
+    "register",
+    "road_network",
+    "synthetic_image",
+]

@@ -1,0 +1,165 @@
+"""Common infrastructure for the nine evaluation workloads (Table 1).
+
+Each workload provides:
+
+* ``source`` — MiniC++ device code (classes, bodies, helpers), compiled by
+  the Concord frontend;
+* ``build(rt, scale)`` — allocate/fill input structures in SVM and return a
+  state object (the paper's host-side setup code);
+* ``run(rt, state, on_cpu)`` — execute the workload's heterogeneous loops
+  (possibly many launches, e.g. BFS level iterations) and return the
+  accumulated :class:`ExecutionReport` list;
+* ``validate(rt, state)`` — check results against a pure-Python reference.
+
+Scale 1.0 is the benchmark size; tests use smaller scales.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..passes import OptConfig
+from ..runtime import CompiledProgram, ConcordRuntime, ExecutionReport, compile_source
+from ..runtime.system import System, ultrabook
+
+
+@dataclass
+class RunOutcome:
+    workload: str
+    device: str
+    reports: list[ExecutionReport] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return sum(r.seconds for r in self.reports)
+
+    @property
+    def energy_joules(self) -> float:
+        return sum(r.energy_joules for r in self.reports)
+
+
+class Workload(abc.ABC):
+    #: Table 1 metadata
+    name: str = ""
+    origin: str = ""
+    data_structure: str = ""
+    parallel_construct: str = "parallel_for_hetero"
+    body_class: str = ""
+    input_description: str = ""
+
+    #: MiniC++ source of the device code
+    source: str = ""
+
+    #: default region size; graph workloads override
+    region_size: int = 1 << 24
+
+    _program_cache: dict = {}
+
+    @classmethod
+    def compile(cls, config: OptConfig) -> CompiledProgram:
+        key = (cls.__name__, config)
+        cached = Workload._program_cache.get(key)
+        if cached is None:
+            cached = compile_source(cls.source, config, module_name=cls.name)
+            Workload._program_cache[key] = cached
+        return cached
+
+    @classmethod
+    def make_runtime(
+        cls,
+        config: OptConfig = None,
+        system: Optional[System] = None,
+        collect_mem_events: bool = True,
+    ) -> ConcordRuntime:
+        program = cls.compile(config or OptConfig.gpu_all())
+        return ConcordRuntime(
+            program,
+            system or ultrabook(),
+            region_size=cls.region_size,
+            collect_mem_events=collect_mem_events,
+        )
+
+    @abc.abstractmethod
+    def build(self, rt: ConcordRuntime, scale: float = 1.0):
+        ...
+
+    @abc.abstractmethod
+    def run(self, rt: ConcordRuntime, state, on_cpu: bool = False) -> list[ExecutionReport]:
+        ...
+
+    @abc.abstractmethod
+    def validate(self, rt: ConcordRuntime, state) -> None:
+        ...
+
+    @classmethod
+    def loc(cls) -> int:
+        """Lines of MiniC++ source (Table 1's LoC analogue)."""
+        return sum(1 for line in cls.source.splitlines() if line.strip())
+
+    @classmethod
+    def device_loc(cls) -> int:
+        """Lines inside the parallel body classes (Table 1's device LoC)."""
+        lines = cls.source.splitlines()
+        count = 0
+        depth = 0
+        inside = False
+        for line in lines:
+            stripped = line.strip()
+            if not inside and stripped.startswith("class") and cls.body_class in stripped:
+                inside = True
+                depth = 0
+            if inside:
+                if stripped:
+                    count += 1
+                depth += line.count("{") - line.count("}")
+                if depth <= 0 and "}" in line and count > 1:
+                    inside = False
+        return count
+
+    def execute(
+        self,
+        config: OptConfig,
+        system: Optional[System] = None,
+        on_cpu: bool = False,
+        scale: float = 1.0,
+        validate: bool = True,
+        collect_mem_events: bool = True,
+    ) -> RunOutcome:
+        """Convenience: compile, build, run, validate, aggregate."""
+        rt = self.make_runtime(config, system, collect_mem_events)
+        state = self.build(rt, scale)
+        reports = self.run(rt, state, on_cpu=on_cpu)
+        if validate:
+            self.validate(rt, state)
+        return RunOutcome(
+            workload=self.name,
+            device="cpu" if on_cpu else reports[0].device if reports else "gpu",
+            reports=reports,
+        )
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register(cls):
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_workloads() -> dict[str, type]:
+    # populate on first use
+    from . import (  # noqa: F401
+        barneshut,
+        bfs,
+        btree,
+        clothphysics,
+        connectedcomponent,
+        facedetect,
+        raytracer,
+        skiplist,
+        sssp,
+    )
+
+    return dict(_REGISTRY)

@@ -1,0 +1,28 @@
+"""Helpers for placing CSR graphs into shared virtual memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.types import I32
+from ..runtime import ConcordRuntime
+from ..svm import ArrayView
+from .inputs import Graph
+
+
+@dataclass
+class SvmGraph:
+    graph: Graph
+    row_starts: ArrayView
+    columns: ArrayView
+    weights: ArrayView
+
+
+def graph_to_svm(rt: ConcordRuntime, graph: Graph) -> SvmGraph:
+    row_starts = rt.new_array(I32, graph.num_nodes + 1)
+    row_starts.fill_from(graph.row_starts)
+    columns = rt.new_array(I32, max(1, graph.num_edges))
+    columns.fill_from(graph.columns or [0])
+    weights = rt.new_array(I32, max(1, graph.num_edges))
+    weights.fill_from(graph.weights or [0])
+    return SvmGraph(graph, row_starts, columns, weights)

@@ -1,0 +1,124 @@
+"""Synthetic input generators.
+
+The paper's inputs (Western-USA road network, the Solvay-1927 conference
+photo, 50M keys) are unavailable/oversized for interpreted simulation, so
+these generators produce structurally equivalent scaled inputs:
+
+* :func:`road_network` — a jittered grid with random shortcut edges: low
+  average degree (~2.5), large diameter, irregular neighbour layout — the
+  properties that make W-USA traversals irregular;
+* :func:`synthetic_image` — a grayscale image with smooth background plus a
+  few bright "face-like" blobs, used by FaceDetect's integral image;
+* :func:`random_keys` — deterministic pseudo-random key sets for BTree and
+  SkipList.
+
+Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass
+class Graph:
+    """CSR-style adjacency with edge weights."""
+
+    num_nodes: int
+    row_starts: list[int]
+    columns: list[int]
+    weights: list[int]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.columns)
+
+    def neighbours(self, node: int):
+        start = self.row_starts[node]
+        end = self.row_starts[node + 1]
+        return zip(self.columns[start:end], self.weights[start:end])
+
+
+def road_network(width: int, height: int, seed: int = 7, shortcut_fraction: float = 0.05) -> Graph:
+    """Grid-with-shortcuts road network (directed, symmetric edges)."""
+    rng = random.Random(seed)
+    num_nodes = width * height
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(num_nodes)]
+
+    def node_at(x: int, y: int) -> int:
+        return y * width + x
+
+    def connect(a: int, b: int, w: int) -> None:
+        adjacency[a].append((b, w))
+        adjacency[b].append((a, w))
+
+    for y in range(height):
+        for x in range(width):
+            here = node_at(x, y)
+            if x + 1 < width and rng.random() > 0.08:  # a few missing roads
+                connect(here, node_at(x + 1, y), rng.randint(1, 20))
+            if y + 1 < height and rng.random() > 0.08:
+                connect(here, node_at(x, y + 1), rng.randint(1, 20))
+    shortcuts = int(num_nodes * shortcut_fraction)
+    for _ in range(shortcuts):
+        a = rng.randrange(num_nodes)
+        b = rng.randrange(num_nodes)
+        if a != b:
+            connect(a, b, rng.randint(5, 60))
+
+    row_starts = [0]
+    columns: list[int] = []
+    weights: list[int] = []
+    for node in range(num_nodes):
+        for target, weight in adjacency[node]:
+            columns.append(target)
+            weights.append(weight)
+        row_starts.append(len(columns))
+    return Graph(num_nodes, row_starts, columns, weights)
+
+
+def synthetic_image(width: int, height: int, num_blobs: int = 12, seed: int = 11) -> list[list[int]]:
+    """Grayscale image: smooth gradient background + bright square blobs
+    (stand-ins for faces that make some cascade windows survive stages)."""
+    rng = random.Random(seed)
+    # Per-pixel texture noise matters: it makes neighbouring cascade
+    # windows abort at different stages, which is what produces the
+    # paper's intra-warp divergence for FaceDetect.
+    image = [
+        [((x * 7 + y * 13) % 64) + 32 + rng.randrange(120) for x in range(width)]
+        for y in range(height)
+    ]
+    for _ in range(num_blobs):
+        bw = rng.randint(3, max(4, width // 10))
+        bx = rng.randrange(max(1, width - bw))
+        by = rng.randrange(max(1, height - bw))
+        level = rng.randint(170, 240)
+        for y in range(by, min(height, by + bw)):
+            for x in range(bx, min(width, bx + bw)):
+                image[y][x] = level + ((x + y) % 16)
+    return image
+
+
+def integral_image(image: list[list[int]]) -> list[list[int]]:
+    height = len(image)
+    width = len(image[0])
+    out = [[0] * (width + 1) for _ in range(height + 1)]
+    for y in range(height):
+        row_sum = 0
+        for x in range(width):
+            row_sum += image[y][x]
+            out[y + 1][x + 1] = out[y][x + 1] + row_sum
+    return out
+
+
+def random_keys(count: int, universe: int, seed: int = 3) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(universe) for _ in range(count)]
+
+
+def distinct_sorted_keys(count: int, universe: int, seed: int = 5) -> list[int]:
+    rng = random.Random(seed)
+    keys = rng.sample(range(universe), count)
+    keys.sort()
+    return keys

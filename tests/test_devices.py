@@ -1,0 +1,259 @@
+"""Unit tests for the GPU/CPU device models, cache model and timing."""
+
+import pytest
+
+from repro.exec.interp import ExecTrace, MemEvent
+from repro.gpu import CacheModel, hd4600, hd5000, time_gpu_kernel
+from repro.gpu.timing import _guarded_blocks, block_sizes
+from repro.cpu import i7_4650u, i7_4770, time_cpu_execution
+from repro.ir import BOOL, Function, FunctionType, I32, IRBuilder, VOID
+from repro.runtime.system import desktop, ultrabook
+
+
+def straight_line_kernel(n_instr=10):
+    fn = Function("k", FunctionType(VOID, (I32,)), ["i"])
+    entry = fn.new_block("entry")
+    b = IRBuilder(entry)
+    value = fn.args[0]
+    for _ in range(n_instr):
+        value = b.add(value, b.i32(1))
+    b.ret()
+    return fn
+
+
+def branchy_kernel():
+    fn = Function("k", FunctionType(VOID, (I32,)), ["i"])
+    entry = fn.new_block("entry")
+    then = fn.new_block("then")
+    done = fn.new_block("done")
+    b = IRBuilder(entry)
+    cond = b.icmp("sgt", fn.args[0], b.i32(0))
+    b.condbr(cond, then, done)
+    b.position_at_end(then)
+    for _ in range(20):
+        b.add(fn.args[0], b.i32(1))
+    b.br(done)
+    b.position_at_end(done)
+    b.ret()
+    return fn
+
+
+def trace_with(blocks: dict, events=(), instructions=0):
+    trace = ExecTrace()
+    trace.block_counts = dict(blocks)
+    trace.mem_events = list(events)
+    trace.instructions = instructions or sum(blocks.values())
+    return trace
+
+
+class TestCacheModel:
+    def test_hit_after_miss(self):
+        cache = CacheModel(1024, 64, 2)
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache = CacheModel(2 * 64, 64, 2)  # one set, two ways
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)  # evicts 0
+        assert not cache.access(0)
+
+    def test_lru_touch_refreshes(self):
+        cache = CacheModel(2 * 64, 64, 2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # refresh 0
+        cache.access(2)  # evicts 1, not 0
+        assert cache.access(0)
+        assert not cache.access(1)
+
+    def test_set_indexing(self):
+        cache = CacheModel(4 * 64, 64, 1)  # 4 sets, direct-mapped
+        cache.access(0)
+        cache.access(1)  # different set, no conflict
+        assert cache.access(0)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CacheModel(100, 64, 2)
+
+
+class TestGpuDivergenceModel:
+    def test_converged_warp_costs_one_lane(self):
+        kernel = straight_line_kernel(10)
+        entry_uid = kernel.blocks[0].uid
+        lanes = [trace_with({entry_uid: 1}) for _ in range(16)]
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        sizes = block_sizes(kernel)
+        assert report.issue_slots == pytest.approx(sizes[entry_uid])
+        assert report.divergence_waste == pytest.approx(0.0)
+
+    def test_guarded_block_divergence_inflation(self):
+        """One lane taking a guarded block per occurrence forces the warp
+        to issue it: with independent mixed outcomes the issue estimate
+        exceeds the per-lane max."""
+        kernel = branchy_kernel()
+        entry, then, done = kernel.blocks
+        guarded = _guarded_blocks(kernel)
+        assert guarded.get(then.uid) == entry.uid
+        # every lane enters 'then' half the time over 100 occurrences
+        lanes = [
+            trace_with({entry.uid: 100, then.uid: 50, done.uid: 100})
+            for _ in range(16)
+        ]
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        sizes = block_sizes(kernel)
+        # independent-outcomes estimate ~ 100 * (1 - 0.5^16) ~ 100, not 50
+        expected_then_issue = 100 * (1 - 0.5 ** 16)
+        expected = (
+            100 * sizes[entry.uid]
+            + expected_then_issue * sizes[then.uid]
+            + 100 * sizes[done.uid]
+        )
+        assert report.issue_slots == pytest.approx(expected, rel=0.01)
+
+    def test_divergent_warp_costs_max_lane(self):
+        kernel = straight_line_kernel(10)
+        entry_uid = kernel.blocks[0].uid
+        lanes = [trace_with({entry_uid: 1 + (i % 4) * 5}) for i in range(16)]
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        sizes = block_sizes(kernel)
+        assert report.issue_slots == pytest.approx(16 * sizes[entry_uid])
+        assert report.divergence_waste > 0
+
+    def test_more_eus_faster_compute(self):
+        kernel = straight_line_kernel(30)
+        uid = kernel.blocks[0].uid
+        lanes = [trace_with({uid: 100}) for _ in range(256)]
+        big = time_gpu_kernel(hd5000(), kernel, lanes)
+        small = time_gpu_kernel(hd4600(), kernel, lanes)
+        assert big.cycles < small.cycles
+
+
+class TestGpuMemoryModel:
+    def _mem_kernel(self):
+        return straight_line_kernel(2)
+
+    def _lanes_with_addresses(self, kernel, addr_of_lane, count=16):
+        uid = kernel.blocks[0].uid
+        lanes = []
+        for lane_index in range(count):
+            events = [
+                MemEvent(instr_uid=1, seq=0, address=addr_of_lane(lane_index),
+                         size=4, is_store=False)
+            ]
+            lanes.append(trace_with({uid: 1}, events))
+        return lanes
+
+    def test_coalesced_access_single_transaction(self):
+        kernel = self._mem_kernel()
+        lanes = self._lanes_with_addresses(kernel, lambda i: 0x1000 + 4 * i)
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        assert report.mem_transactions == 1
+
+    def test_scattered_access_many_transactions(self):
+        kernel = self._mem_kernel()
+        lanes = self._lanes_with_addresses(kernel, lambda i: 0x1000 + 4096 * i)
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        assert report.mem_transactions == 16
+        # gather cracking charges extra issue slots
+        coalesced = time_gpu_kernel(
+            hd5000(),
+            kernel,
+            self._lanes_with_addresses(kernel, lambda i: 0x1000 + 4 * i),
+        )
+        assert report.issue_slots > coalesced.issue_slots
+
+    def test_contention_same_line_different_eus(self):
+        """Warps on different EUs touching the same line at the same
+        dynamic position serialize (un-banked L3, paper section 4.2)."""
+        kernel = self._mem_kernel()
+        uid = kernel.blocks[0].uid
+        device = hd5000()
+        lanes = []
+        for warp in range(4 * 16):  # 4 warps -> 4 different EUs
+            events = [MemEvent(instr_uid=7, seq=0, address=0x2000, size=4,
+                               is_store=False)]
+            lanes.append(trace_with({uid: 1}, events))
+        report = time_gpu_kernel(device, kernel, lanes)
+        assert report.contention_events == 3  # 4 EUs - 1 port
+        assert report.contention_cycles > 0
+
+    def test_no_contention_when_staggered(self):
+        kernel = self._mem_kernel()
+        uid = kernel.blocks[0].uid
+        lanes = []
+        for warp in range(4):
+            for lane in range(16):
+                events = [MemEvent(instr_uid=7, seq=0,
+                                   address=0x2000 + warp * 4096, size=4,
+                                   is_store=False)]
+                lanes.append(trace_with({uid: 1}, events))
+        report = time_gpu_kernel(hd5000(), kernel, lanes)
+        assert report.contention_events == 0
+
+    def test_tdp_throttling_extends_time(self):
+        device = hd5000()
+        assert device.power_budget_watts > 0
+        kernel = straight_line_kernel(40)
+        uid = kernel.blocks[0].uid
+        lanes = [trace_with({uid: 50_000}) for _ in range(16 * 64)]
+        report = time_gpu_kernel(device, kernel, lanes)
+        power = report.energy_joules / report.seconds
+        assert power <= device.power_budget_watts * 1.01
+
+
+class TestCpuModel:
+    def test_predictable_branches_cheap(self):
+        biased = ExecTrace()
+        biased.instructions = 10_000
+        biased.branch_stats = {1: [9_990, 10_000]}
+        random_trace = ExecTrace()
+        random_trace.instructions = 10_000
+        random_trace.branch_stats = {1: [5_000, 10_000]}
+        fast = time_cpu_execution(i7_4770(), [biased])
+        slow = time_cpu_execution(i7_4770(), [random_trace])
+        assert fast.cycles < slow.cycles
+
+    def test_multicore_scaling(self):
+        trace = ExecTrace()
+        trace.instructions = 100_000
+        two = time_cpu_execution(i7_4650u(), [trace])
+        four = time_cpu_execution(i7_4770(), [trace])
+        assert four.seconds < two.seconds
+
+    def test_l1_absorbs_hot_accesses(self):
+        hot = ExecTrace()
+        hot.instructions = 1000
+        hot.mem_events = [
+            MemEvent(1, i, 0x100 + (i % 8) * 4, 4, False) for i in range(500)
+        ]
+        cold = ExecTrace()
+        cold.instructions = 1000
+        cold.mem_events = [
+            MemEvent(1, i, 0x100 + i * 4096, 4, False) for i in range(500)
+        ]
+        fast = time_cpu_execution(i7_4770(), [hot])
+        slow = time_cpu_execution(i7_4770(), [cold])
+        assert fast.cycles < slow.cycles
+
+    def test_energy_positive_and_power_sane(self):
+        trace = ExecTrace()
+        trace.instructions = 1_000_000
+        for device in (i7_4650u(), i7_4770()):
+            report = time_cpu_execution(device, [trace])
+            power = report.energy_joules / report.seconds
+            assert 1.0 < power < 120.0
+
+
+class TestSystems:
+    def test_paper_system_configs(self):
+        ub = ultrabook()
+        dt = desktop()
+        assert ub.cpu.cores == 2 and dt.cpu.cores == 4
+        assert ub.gpu.num_eus == 40 and dt.gpu.num_eus == 20
+        assert ub.gpu.threads_per_eu == 7 == dt.gpu.threads_per_eu
+        assert ub.gpu.simd_width == 16 == dt.gpu.simd_width
+        assert ub.tdp_watts == 15.0 and dt.tdp_watts == 84.0

@@ -1,0 +1,46 @@
+"""Smoke tests for the runnable examples (the fast ones run end to end;
+the heavy renders are exercised by their workloads' own tests)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "linked list verified: 256 links" in out
+        assert "speedup" in out
+
+    def test_shortest_path_runs(self, capsys):
+        load_example("shortest_path_roadmap").main()
+        out = capsys.readouterr().out
+        assert "validated against Dijkstra reference" in out
+        assert "route from 0:" in out
+
+    def test_compiler_explorer_runs(self, capsys):
+        load_example("compiler_explorer").main()
+        out = capsys.readouterr().out
+        assert "frontend output" in out
+        assert "static pointer translations" in out
+        assert "__kernel void" in out
+
+    @pytest.mark.parametrize(
+        "name",
+        ["raytrace_scene", "cloth_simulation", "face_detection_heatmap"],
+    )
+    def test_heavy_examples_importable(self, name):
+        module = load_example(name)
+        assert callable(module.main)

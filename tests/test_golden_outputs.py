@@ -1,0 +1,108 @@
+"""Golden-output tests: lock the user-visible artifacts (Figure 1 OpenCL,
+IR printing) against accidental regressions.
+
+These assert structural content rather than byte-exact text, so harmless
+renames don't break them while real codegen changes do.
+"""
+
+import re
+
+from repro.ir import format_function, format_module
+from repro.passes import OptConfig
+from repro.runtime import compile_source
+
+FIGURE1 = """
+class Node {
+public:
+  Node* next;
+  float value;
+};
+
+class LoopBody {
+  Node* nodes;
+public:
+  LoopBody(Node* arr) : nodes(arr) {}
+  void operator()(int i) {
+    nodes[i].next = &(nodes[i+1]);
+  }
+};
+"""
+
+
+class TestFigure1OpenCl:
+    def test_baseline_matches_paper_structure(self):
+        """The GPU (lazy-translation) configuration must produce the exact
+        structure of the paper's Figure 1 right-hand side."""
+        prog = compile_source(FIGURE1, OptConfig.gpu())
+        text = prog.kernel_for("LoopBody").opencl_source
+        # the paper's typedef and macro
+        assert "typedef unsigned long CpuPtr;" in text
+        assert re.search(r"#define AS_GPU_PTR\(T, p\)", text)
+        # kernel signature: gpu_base, cpu_base, then the body pointer
+        assert re.search(
+            r"__kernel void \w+\(__global char \*gpu_base, CpuPtr cpu_base, "
+            r"CpuPtr body, int i\)",
+            text,
+        )
+        # svm_const computed once
+        assert text.count("svm_const =") == 1
+        # lazy translation: one AS_GPU_PTR per dereference (three accesses:
+        # load nodes, load nodes again or reuse, store next)
+        assert text.count("AS_GPU_PTR(char,") >= 2
+        # the stored value is the CPU representation (no translation of the
+        # stored pointer)
+        store_line = next(
+            line for line in text.splitlines() if line.strip().startswith("*((CpuPtr")
+        )
+        assert "AS_GPU_PTR" not in store_line.split("=")[1]
+
+    def test_ptropt_reduces_static_translations(self):
+        base = compile_source(FIGURE1, OptConfig.gpu())
+        opt = compile_source(FIGURE1, OptConfig.gpu_ptropt())
+        count = lambda p: p.kernel_for("LoopBody").opencl_source.count("AS_GPU_PTR(char,")
+        assert count(opt) < count(base)
+
+    def test_node_struct_size_comment(self):
+        prog = compile_source(FIGURE1, OptConfig.gpu())
+        text = prog.kernel_for("LoopBody").opencl_source
+        assert "/* struct Node: size 16 */" in text
+
+
+class TestIrPrinter:
+    def test_function_print_roundtrip_structure(self):
+        prog = compile_source(FIGURE1, OptConfig.gpu())
+        kernel = prog.kernel_for("LoopBody").gpu_kernel
+        text = format_function(kernel)
+        assert text.startswith("func @kernel.LoopBody.gpu(")
+        assert "[kernel]" in text
+        assert "entry:" in text
+        assert text.rstrip().endswith("}")
+        # every non-void instruction printed with a %name =
+        assert "= call @svm.to_gpu(" in text
+        assert "store " in text and "ret" in text
+
+    def test_module_print_includes_globals_and_vtables(self):
+        source = FIGURE1 + """
+        class Base { public: int pad; virtual int f() { return 1; } };
+        class Derived : public Base { public: virtual int f() { return 2; } };
+        """
+        prog = compile_source(source, OptConfig.gpu())
+        text = format_module(prog.module)
+        assert "global @__vtable.Base" in text
+        assert "vtable Derived = [" in text
+
+    def test_phi_printing(self):
+        source = """
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            int s = 0;
+            for (int j = 0; j < i; j++) s += j;
+            out[i] = s;
+          }
+        };
+        """
+        prog = compile_source(source, OptConfig.gpu())
+        text = format_function(prog.kernel_for("B").gpu_kernel)
+        assert re.search(r"phi i32 \[.*\], \[.*\]", text)

@@ -1,0 +1,374 @@
+"""Unit tests for the classical optimization passes on hand-built IR."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    Constant,
+    DominatorTree,
+    F32,
+    Function,
+    FunctionType,
+    I32,
+    IRBuilder,
+    add_phi_incoming,
+    const_int,
+    find_loops,
+    verify_function,
+)
+from repro.exec import Interpreter
+from repro.passes import (
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+    promote_memory_to_registers,
+    simplify_cfg,
+    unroll_loops,
+)
+from repro.svm import SharedRegion
+
+
+def make_function(name="f", params=(I32,), names=("n",), ret=I32):
+    fn = Function(name, FunctionType(ret, tuple(params)), list(names))
+    return fn
+
+
+def build_count_loop(body_fn=None):
+    """int f(int n) { s = 0; for i in [0,n): s += body(i); return s; }
+    built in alloca form (pre-mem2reg)."""
+    fn = make_function()
+    entry = fn.new_block("entry")
+    header = fn.new_block("header")
+    body = fn.new_block("body")
+    done = fn.new_block("done")
+    b = IRBuilder(entry)
+    s = b.alloca(I32, "s")
+    i = b.alloca(I32, "i")
+    b.store(b.i32(0), s)
+    b.store(b.i32(0), i)
+    b.br(header)
+    b.position_at_end(header)
+    iv = b.load(i, "iv")
+    cond = b.icmp("slt", iv, fn.args[0], "cond")
+    b.condbr(cond, body, done)
+    b.position_at_end(body)
+    sv = b.load(s, "sv")
+    iv2 = b.load(i, "iv2")
+    delta = body_fn(b, iv2) if body_fn else iv2
+    b.store(b.add(sv, delta, "s2"), s)
+    b.store(b.add(iv2, b.i32(1), "i2"), i)
+    b.br(header)
+    b.position_at_end(done)
+    b.ret(b.load(s, "ret"))
+    return fn
+
+
+def run(fn, *args):
+    region = SharedRegion(1 << 16)
+    return Interpreter(region, "cpu").call_function(fn, list(args))
+
+
+class TestMem2Reg:
+    def test_promotes_all_scalar_allocas(self):
+        fn = build_count_loop()
+        verify_function(fn)
+        assert promote_memory_to_registers(fn)
+        verify_function(fn)
+        assert not any(i.op == "alloca" for i in fn.instructions())
+        assert not any(i.op in ("load", "store") for i in fn.instructions())
+
+    def test_semantics_preserved(self):
+        fn = build_count_loop()
+        results_before = [run(fn, n) for n in range(8)]
+        fn2 = build_count_loop()
+        promote_memory_to_registers(fn2)
+        results_after = [run(fn2, n) for n in range(8)]
+        assert results_before == results_after == [sum(range(n)) for n in range(8)]
+
+    def test_inserts_phi_at_join(self):
+        fn = build_count_loop()
+        promote_memory_to_registers(fn)
+        header = fn.blocks[1]
+        assert len(header.phis()) == 2  # i and s
+
+    def test_second_run_is_noop(self):
+        fn = build_count_loop()
+        assert promote_memory_to_registers(fn)
+        assert not promote_memory_to_registers(fn)
+
+
+class TestConstantFolding:
+    def _unary_fn(self, emit):
+        fn = make_function(params=(), names=())
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        value = emit(b)
+        b.ret(value)
+        return fn
+
+    def test_folds_arithmetic(self):
+        fn = self._unary_fn(lambda b: b.add(b.i32(2), b.i32(3), "x"))
+        assert constant_fold(fn)
+        assert run(fn) == 5
+
+    def test_folds_comparison_chain(self):
+        def emit(b):
+            c = b.icmp("slt", b.i32(1), b.i32(2), "c")
+            return b.select(c, b.i32(10), b.i32(20), "sel")
+
+        fn = self._unary_fn(emit)
+        constant_fold(fn)
+        # select of constant condition folds away entirely
+        ret = fn.blocks[0].terminator
+        assert isinstance(ret.operands[0], Constant)
+        assert ret.operands[0].value == 10
+
+    def test_folds_condbr_to_br(self):
+        fn = make_function(params=(), names=())
+        entry = fn.new_block("entry")
+        t = fn.new_block("t")
+        f = fn.new_block("f")
+        b = IRBuilder(entry)
+        b.condbr(Constant(BOOL, 1), t, f)
+        b.position_at_end(t)
+        b.ret(b.i32(1))
+        b.position_at_end(f)
+        b.ret(b.i32(0))
+        assert constant_fold(fn)
+        assert entry.terminator.op == "br"
+        dead_code_elimination(fn)
+        assert len(fn.blocks) == 2
+
+    def test_identity_simplifications(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        x = b.add(fn.args[0], b.i32(0), "x0")  # n + 0 -> n
+        y = b.mul(x, b.i32(1), "y")  # x * 1 -> x
+        b.ret(y)
+        assert constant_fold(fn)
+        assert run(fn, 42) == 42
+        # both instructions should be gone after DCE
+        dead_code_elimination(fn)
+        assert sum(1 for _ in fn.instructions()) == 1  # just ret
+
+    def test_division_by_zero_not_folded(self):
+        fn = self._unary_fn(lambda b: b.binop("sdiv", b.i32(1), b.i32(0), "d"))
+        constant_fold(fn)
+        assert any(i.op == "sdiv" for i in fn.instructions())
+
+    def test_float_f32_rounding(self):
+        fn = make_function(params=(), names=(), ret=F32)
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        v = b.binop("fadd", Constant(F32, 0.1), Constant(F32, 0.2), "v")
+        b.ret(v)
+        constant_fold(fn)
+        import struct as _s
+
+        expect = _s.unpack("f", _s.pack("f", _s.unpack("f", _s.pack("f", 0.1))[0]
+                                        + _s.unpack("f", _s.pack("f", 0.2))[0]))[0]
+        assert run(fn) == pytest.approx(expect)
+
+
+class TestCSE:
+    def test_removes_duplicate_expression(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        a1 = b.add(fn.args[0], b.i32(5), "a1")
+        a2 = b.add(fn.args[0], b.i32(5), "a2")
+        b.ret(b.add(a1, a2, "sum"))
+        assert common_subexpression_elimination(fn)
+        adds = [i for i in fn.instructions() if i.op == "add"]
+        assert len(adds) == 2  # one of the dup pair + the final sum
+        assert run(fn, 10) == 30
+
+    def test_commutative_canonicalization(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        a1 = b.add(fn.args[0], b.i32(5), "a1")
+        a2 = b.add(b.i32(5), fn.args[0], "a2")  # swapped operands
+        b.ret(b.binop("xor", a1, a2, "x"))
+        assert common_subexpression_elimination(fn)
+        assert run(fn, 9) == 0
+
+    def test_does_not_merge_loads(self):
+        fn = make_function(params=(), names=())
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32, "slot")
+        b.store(b.i32(1), slot)
+        l1 = b.load(slot, "l1")
+        b.store(b.i32(2), slot)
+        l2 = b.load(slot, "l2")
+        b.ret(b.add(l1, l2, "sum"))
+        common_subexpression_elimination(fn)
+        loads = [i for i in fn.instructions() if i.op == "load"]
+        assert len(loads) == 2
+        assert run(fn) == 3
+
+    def test_dominator_scoping(self):
+        # An expression in one branch must not be reused in a sibling branch.
+        fn = make_function()
+        entry = fn.new_block("entry")
+        t = fn.new_block("t")
+        f = fn.new_block("f")
+        b = IRBuilder(entry)
+        c = b.icmp("sgt", fn.args[0], b.i32(0), "c")
+        b.condbr(c, t, f)
+        b.position_at_end(t)
+        x1 = b.add(fn.args[0], b.i32(7), "x1")
+        b.ret(x1)
+        b.position_at_end(f)
+        x2 = b.add(fn.args[0], b.i32(7), "x2")
+        b.ret(x2)
+        common_subexpression_elimination(fn)
+        verify_function(fn)
+        assert run(fn, 1) == 8 and run(fn, -1) == 6
+
+
+class TestDCE:
+    def test_removes_unused_pure_instruction(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        b.add(fn.args[0], b.i32(1), "dead")
+        b.ret(fn.args[0])
+        assert dead_code_elimination(fn)
+        assert sum(1 for _ in fn.instructions()) == 1
+
+    def test_keeps_stores(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32, "s")
+        b.store(fn.args[0], slot)
+        b.ret(b.load(slot, "v"))
+        dead_code_elimination(fn)
+        assert any(i.op == "store" for i in fn.instructions())
+
+    def test_removes_transitively_dead_chain(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        a = b.add(fn.args[0], b.i32(1), "a")
+        c = b.mul(a, b.i32(2), "c")
+        b.binop("xor", c, b.i32(3), "d")  # unused
+        b.ret(fn.args[0])
+        dead_code_elimination(fn)
+        assert sum(1 for _ in fn.instructions()) == 1
+
+    def test_removes_unreachable_blocks(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        orphan = fn.new_block("orphan")
+        b = IRBuilder(entry)
+        b.ret(fn.args[0])
+        b.position_at_end(orphan)
+        b.ret(fn.args[0])
+        assert dead_code_elimination(fn)
+        assert len(fn.blocks) == 1
+
+    def test_removes_dead_alloca_with_stores(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32, "never_read")
+        b.store(fn.args[0], slot)
+        b.ret(fn.args[0])
+        assert dead_code_elimination(fn)
+        assert sum(1 for _ in fn.instructions()) == 1
+
+
+class TestSimplifyCFG:
+    def test_merges_linear_chain(self):
+        fn = make_function()
+        a = fn.new_block("a")
+        c = fn.new_block("c")
+        b = IRBuilder(a)
+        x = b.add(fn.args[0], b.i32(1), "x")
+        b.br(c)
+        b.position_at_end(c)
+        b.ret(x)
+        assert simplify_cfg(fn)
+        assert len(fn.blocks) == 1
+        assert run(fn, 4) == 5
+
+    def test_removes_forwarding_block(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        fwd = fn.new_block("fwd")
+        t = fn.new_block("t")
+        f = fn.new_block("f")
+        b = IRBuilder(entry)
+        c = b.icmp("sgt", fn.args[0], b.i32(0), "c")
+        b.condbr(c, fwd, f)
+        b.position_at_end(fwd)
+        b.br(t)
+        b.position_at_end(t)
+        b.ret(b.i32(1))
+        b.position_at_end(f)
+        b.ret(b.i32(0))
+        assert simplify_cfg(fn)
+        verify_function(fn)
+        assert run(fn, 5) == 1
+        assert run(fn, -5) == 0
+
+
+class TestUnroll:
+    def _ssa_loop(self):
+        fn = make_function()
+        entry = fn.new_block("entry")
+        header = fn.new_block("header")
+        body = fn.new_block("body")
+        done = fn.new_block("done")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        iphi = b.phi(I32, "i")
+        sphi = b.phi(I32, "s")
+        cond = b.icmp("slt", iphi, fn.args[0], "cond")
+        b.condbr(cond, body, done)
+        b.position_at_end(body)
+        s2 = b.add(sphi, iphi, "s2")
+        i2 = b.add(iphi, b.i32(1), "i2")
+        b.br(header)
+        b.position_at_end(done)
+        b.ret(sphi)
+        add_phi_incoming(iphi, b.i32(0), entry)
+        add_phi_incoming(iphi, i2, body)
+        add_phi_incoming(sphi, b.i32(0), entry)
+        add_phi_incoming(sphi, s2, body)
+        return fn
+
+    def test_unroll_preserves_semantics_all_trip_counts(self):
+        fn = self._ssa_loop()
+        assert unroll_loops(fn)
+        verify_function(fn)
+        for n in range(0, 30):
+            assert run(fn, n) == sum(range(n))
+
+    def test_unroll_replicates_body(self):
+        fn = self._ssa_loop()
+        blocks_before = len(fn.blocks)
+        unroll_loops(fn)
+        assert len(fn.blocks) > blocks_before
+
+
+class TestCFGAnalyses:
+    def test_dominator_tree(self):
+        fn = build_count_loop()
+        dt = DominatorTree(fn)
+        entry, header, body, done = fn.blocks
+        assert dt.dominates(entry, done)
+        assert dt.dominates(header, body)
+        assert not dt.dominates(body, done)
+
+    def test_loop_detection(self):
+        fn = build_count_loop()
+        loops = find_loops(fn)
+        assert len(loops) == 1
+        assert loops[0].header.name == "header"
+        assert loops[0].is_innermost()

@@ -1,0 +1,138 @@
+"""Unit tests for the IR type system and struct layout rules."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    U32,
+    VOID,
+    ptr,
+)
+
+
+class TestScalarSizes:
+    def test_integer_sizes(self):
+        assert I8.size() == 1
+        assert I16.size() == 2
+        assert I32.size() == 4
+        assert I64.size() == 8
+
+    def test_float_sizes(self):
+        assert F32.size() == 4
+        assert F64.size() == 8
+
+    def test_pointer_size(self):
+        assert ptr(I32).size() == 8
+        assert ptr(ptr(F32)).size() == 8
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size()
+
+    def test_alignment_is_natural(self):
+        assert I32.align() == 4
+        assert I64.align() == 8
+        assert F32.align() == 4
+        assert ptr(I8).align() == 8
+
+
+class TestIntWrapping:
+    def test_signed_wrap(self):
+        assert I8.wrap(127) == 127
+        assert I8.wrap(128) == -128
+        assert I8.wrap(-129) == 127
+        assert I32.wrap(2**31) == -(2**31)
+
+    def test_unsigned_wrap(self):
+        assert U32.wrap(-1) == 2**32 - 1
+        assert U32.wrap(2**32) == 0
+
+    def test_ranges(self):
+        assert I32.min_value == -(2**31)
+        assert I32.max_value == 2**31 - 1
+        assert U32.min_value == 0
+        assert U32.max_value == 2**32 - 1
+
+
+class TestStructLayout:
+    def test_basic_layout_with_padding(self):
+        s = StructType("S")
+        s.finalize([("a", I8), ("b", I32), ("c", I8)])
+        assert s.field_named("a").offset == 0
+        assert s.field_named("b").offset == 4  # aligned up
+        assert s.field_named("c").offset == 8
+        assert s.size() == 12  # tail-padded to align 4
+
+    def test_pointer_field_alignment(self):
+        s = StructType("P")
+        s.finalize([("flag", I8), ("next", ptr(I64))])
+        assert s.field_named("next").offset == 8
+        assert s.size() == 16
+        assert s.align() == 8
+
+    def test_recursive_struct_through_pointer(self):
+        node = StructType("Node")
+        node.finalize([("next", ptr(node)), ("value", F32)])
+        assert node.size() == 16
+        assert node.field_named("value").offset == 8
+
+    def test_incomplete_struct_size_raises(self):
+        s = StructType("Inc")
+        with pytest.raises(TypeError):
+            s.size()
+
+    def test_field_lookup_missing(self):
+        s = StructType("S")
+        s.finalize([("a", I32)])
+        with pytest.raises(KeyError):
+            s.field_named("missing")
+        assert s.has_field("a")
+        assert not s.has_field("b")
+
+    def test_struct_identity_by_name(self):
+        a = StructType("Same")
+        a.finalize([("x", I32)])
+        b = StructType("Same")
+        b.finalize([("y", I64)])
+        assert a == b  # identity is nominal
+        assert hash(a) == hash(b)
+
+
+class TestArrayType:
+    def test_array_size(self):
+        arr = ArrayType(I32, 10)
+        assert arr.size() == 40
+        assert arr.align() == 4
+
+    def test_array_of_structs(self):
+        s = StructType("E")
+        s.finalize([("a", I64), ("b", I8)])
+        arr = ArrayType(s, 4)
+        assert arr.size() == 4 * s.size()
+
+    def test_struct_with_array_field(self):
+        s = StructType("K")
+        s.finalize([("keys", ArrayType(I32, 8)), ("n", I32)])
+        assert s.field_named("n").offset == 32
+        assert s.size() == 36
+
+
+class TestTypePredicates:
+    def test_predicates(self):
+        assert I32.is_integer and I32.is_scalar
+        assert F32.is_float and F32.is_scalar
+        assert ptr(I8).is_pointer and ptr(I8).is_scalar
+        assert VOID.is_void
+        s = StructType("Q")
+        s.finalize([("x", I32)])
+        assert s.is_struct and not s.is_scalar
+        assert ArrayType(I8, 3).is_array

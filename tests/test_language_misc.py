@@ -1,0 +1,271 @@
+"""Execution tests for the long tail of language constructs: do-while,
+break/continue, local arrays in kernels (private memory), nested loops,
+casts, sizeof, bit manipulation."""
+
+import pytest
+
+from repro.ir.types import F32, I32, U32
+from repro.runtime import ConcordRuntime, OptConfig, compile_source, ultrabook
+
+
+def run_body(source, body_class, n, setup, on_cpu=False, config=None):
+    prog = compile_source(source, config or OptConfig.gpu_all())
+    rt = ConcordRuntime(prog, ultrabook())
+    body, check = setup(rt)
+    report = rt.parallel_for_hetero(n, body, on_cpu=on_cpu)
+    return report, check()
+
+
+class TestControlFlowTail:
+    def test_do_while(self):
+        source = """
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            int x = i;
+            int steps = 0;
+            do { x /= 2; steps++; } while (x > 0);
+            out[i] = steps;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(I32, 10)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 10, setup)
+        expected = []
+        for i in range(10):
+            x, steps = i, 0
+            while True:
+                x //= 2
+                steps += 1
+                if x <= 0:
+                    break
+            expected.append(steps)
+        assert got == expected
+
+    def test_break_and_continue(self):
+        source = """
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            int acc = 0;
+            for (int j = 0; j < 100; j++) {
+              if (j % 3 == 0) continue;
+              if (j > i) break;
+              acc += j;
+            }
+            out[i] = acc;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(I32, 12)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 12, setup)
+        expected = []
+        for i in range(12):
+            acc = 0
+            for j in range(100):
+                if j % 3 == 0:
+                    continue
+                if j > i:
+                    break
+                acc += j
+            expected.append(acc)
+        assert got == expected
+
+    def test_nested_loops_with_break(self):
+        source = """
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            int found = -1;
+            for (int a = 0; a < 10 && found < 0; a++) {
+              for (int b = 0; b < 10; b++) {
+                if (a * 10 + b == i * 7) { found = a * 100 + b; break; }
+              }
+            }
+            out[i] = found;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(I32, 8)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 8, setup)
+        expected = []
+        for i in range(8):
+            target = i * 7
+            found = -1
+            for a in range(10):
+                if found >= 0:
+                    break
+                for b in range(10):
+                    if a * 10 + b == target:
+                        found = a * 100 + b
+                        break
+            expected.append(found)
+        assert got == expected
+
+
+class TestPrivateArrays:
+    def test_local_array_histogram_on_gpu(self):
+        """A fixed-size local array lives in private memory: usable on the
+        GPU with no SVM translation and no restriction warning."""
+        source = """
+        class B {
+        public:
+          int* data;
+          int* out;
+          int n;
+          void operator()(int i) {
+            int counts[4];
+            for (int k = 0; k < 4; k++) counts[k] = 0;
+            for (int j = 0; j < n; j++) {
+              counts[(data[j] + i) % 4] += 1;
+            }
+            out[i] = counts[0] * 1000 + counts[1] * 100 + counts[2] * 10 + counts[3];
+          }
+        };
+        """
+        values = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+
+        def setup(rt):
+            data = rt.new_array(I32, len(values))
+            data.fill_from(values)
+            out = rt.new_array(I32, 4)
+            body = rt.new("B")
+            body.data = data
+            body.out = out
+            body.n = len(values)
+            return body, lambda: out.to_list()
+
+        report, got = run_body(source, "B", 4, setup)
+        assert report.device == "gpu"
+        expected = []
+        for i in range(4):
+            counts = [0] * 4
+            for v in values:
+                counts[(v + i) % 4] += 1
+            expected.append(
+                counts[0] * 1000 + counts[1] * 100 + counts[2] * 10 + counts[3]
+            )
+        assert got == expected
+
+
+class TestCastsAndSizes:
+    def test_numeric_casts(self):
+        source = """
+        class B {
+        public:
+          float* out;
+          void operator()(int i) {
+            float f = (float)i / 4.0f;
+            int trunc_back = (int)(f * 3.0f);
+            out[i] = (float)trunc_back + f;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(F32, 9)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 9, setup)
+        import struct
+
+        def f32(x):
+            return struct.unpack("f", struct.pack("f", x))[0]
+
+        expected = []
+        for i in range(9):
+            f = f32(float(i) / 4.0)
+            trunc_back = int(f32(f * 3.0))
+            expected.append(f32(float(trunc_back) + f))
+        assert got == pytest.approx(expected)
+
+    def test_static_cast_and_sizeof(self):
+        source = """
+        class Pod { public: int a; long b; char c; };
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            out[i] = (int)sizeof(Pod) + static_cast<int>(3.9f) + i;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(I32, 3)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 3, setup)
+        # Pod: int(4) pad(4) long(8) char(1) pad -> 24
+        assert got == [24 + 3 + i for i in range(3)]
+
+    def test_unsigned_arithmetic(self):
+        source = """
+        class B {
+        public:
+          unsigned int* out;
+          void operator()(int i) {
+            unsigned int x = 0;
+            x = x - 1;               // wraps to UINT_MAX
+            x = x >> (31 - i);       // logical shift
+            out[i] = x;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(U32, 4)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 4, setup)
+        assert got == [(2**32 - 1) >> (31 - i) for i in range(4)]
+
+    def test_bit_tricks(self):
+        source = """
+        class B {
+        public:
+          int* out;
+          void operator()(int i) {
+            int v = i * 37 + 11;
+            int count = 0;
+            while (v != 0) { v = v & (v - 1); count++; }  // popcount
+            out[i] = count;
+          }
+        };
+        """
+
+        def setup(rt):
+            out = rt.new_array(I32, 16)
+            body = rt.new("B")
+            body.out = out
+            return body, lambda: out.to_list()
+
+        _, got = run_body(source, "B", 16, setup)
+        assert got == [bin(i * 37 + 11).count("1") for i in range(16)]

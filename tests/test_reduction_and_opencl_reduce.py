@@ -1,0 +1,162 @@
+"""Deeper coverage of hierarchical reductions (§3.3) and the reduce-kernel
+artifacts: numerical behaviour across group boundaries, non-commutative
+guards, and multi-field reduction bodies."""
+
+import pytest
+
+from repro.ir.types import F32, I32
+from repro.runtime import ConcordRuntime, OptConfig, compile_source, ultrabook
+from repro.runtime.runtime import REDUCTION_GROUP_SIZE
+
+MINMAX_SRC = """
+class StatsBody {
+public:
+  float* data;
+  float min_value;
+  float max_value;
+  int count;
+
+  void operator()(int i) {
+    float v = data[i];
+    if (v < min_value) min_value = v;
+    if (v > max_value) max_value = v;
+    count += 1;
+  }
+
+  void join(StatsBody& other) {
+    if (other.min_value < min_value) min_value = other.min_value;
+    if (other.max_value > max_value) max_value = other.max_value;
+    count += other.count;
+  }
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def stats_runtime():
+    return ConcordRuntime(compile_source(MINMAX_SRC, OptConfig.gpu_all()), ultrabook())
+
+
+def run_stats(rt, values, on_cpu=False):
+    data = rt.new_array(F32, len(values))
+    data.fill_from(values)
+    body = rt.new("StatsBody")
+    body.data = data
+    body.min_value = float("inf")
+    body.max_value = float("-inf")
+    body.count = 0
+    rt.parallel_reduce_hetero(len(values), body, on_cpu=on_cpu)
+    return body.min_value, body.max_value, body.count
+
+
+class TestMultiFieldReduction:
+    @pytest.mark.parametrize(
+        "n",
+        [
+            1,
+            REDUCTION_GROUP_SIZE - 1,
+            REDUCTION_GROUP_SIZE,
+            REDUCTION_GROUP_SIZE + 1,
+            3 * REDUCTION_GROUP_SIZE + 5,
+        ],
+    )
+    def test_min_max_count_across_group_boundaries(self, stats_runtime, n):
+        values = [((i * 37) % 101) - 50.0 for i in range(n)]
+        low, high, count = run_stats(stats_runtime, values)
+        assert low == min(values)
+        assert high == max(values)
+        assert count == n
+
+    def test_cpu_matches_gpu(self, stats_runtime):
+        values = [((i * 13) % 29) - 7.5 for i in range(40)]
+        assert run_stats(stats_runtime, values) == run_stats(
+            stats_runtime, values, on_cpu=True
+        )
+
+    def test_negative_only_values(self, stats_runtime):
+        values = [-1.0 - i for i in range(20)]
+        low, high, count = run_stats(stats_runtime, values)
+        assert (low, high, count) == (-20.0, -1.0, 20)
+
+
+class TestReduceArtifacts:
+    def test_join_kernel_generated(self, stats_runtime):
+        kinfo = stats_runtime.program.kernel_for("StatsBody")
+        assert kinfo.construct == "reduce"
+        assert kinfo.join_kernel is not None
+        assert kinfo.gpu_join_kernel is not None
+        # the device join is SVM-lowered like any kernel
+        assert kinfo.gpu_join_kernel.attributes.get("svm_lowered")
+
+    def test_join_kernel_runs_on_host(self, stats_runtime):
+        rt = stats_runtime
+        a = rt.new("StatsBody")
+        b = rt.new("StatsBody")
+        a.min_value, a.max_value, a.count = -1.0, 5.0, 3
+        b.min_value, b.max_value, b.count = -7.0, 2.0, 4
+        kinfo = rt.program.kernel_for("StatsBody")
+        rt.call_host(kinfo.join_kernel.name, a, b)
+        assert (a.min_value, a.max_value, a.count) == (-7.0, 5.0, 7)
+
+    def test_body_object_untouched_between_runs(self, stats_runtime):
+        """parallel_reduce_hetero makes private copies: a second run with a
+        reset body must not see stale state from the first."""
+        rt = stats_runtime
+        values = [1.0, 2.0, 3.0]
+        first = run_stats(rt, values)
+        second = run_stats(rt, values)
+        assert first == second
+
+
+class TestFloatReductionSemantics:
+    def test_sum_reassociation_within_tolerance(self):
+        """The paper: 'floating point determinism in reductions is not
+        guaranteed'.  Our tree order differs from the sequential order, so
+        results agree to rounding, not bit-exactly in general."""
+        source = """
+        class SumBody {
+        public:
+          float* data;
+          float sum;
+          void operator()(int i) { sum += data[i]; }
+          void join(SumBody& other) { sum += other.sum; }
+        };
+        """
+        rt = ConcordRuntime(compile_source(source, OptConfig.gpu_all()), ultrabook())
+        values = [0.1 * ((i * 7) % 23) for i in range(100)]
+        data = rt.new_array(F32, len(values))
+        data.fill_from(values)
+        body = rt.new("SumBody")
+        body.data = data
+        body.sum = 0.0
+        rt.parallel_reduce_hetero(len(values), body)
+        assert body.sum == pytest.approx(sum(values), rel=1e-4)
+
+
+class TestReduceWrapperOpenCl:
+    """Section 3.3's wrapper artifact: private copies, local-memory tree
+    reduction with barriers, per-group results."""
+
+    def test_wrapper_structure(self, stats_runtime):
+        text = stats_runtime.program.kernel_for("StatsBody").reduce_wrapper_source
+        assert "__kernel void reduce_StatsBody" in text
+        assert "__local" in text
+        assert text.count("barrier(CLK_LOCAL_MEM_FENCE);") >= 2
+        assert "stride *= 2" in text  # tree reduction
+        assert "_private" in text  # private Body copies
+        assert "group_results" in text
+
+    def test_for_kernels_have_no_wrapper(self):
+        from repro.runtime import compile_source as cs
+
+        prog = cs(
+            """
+            class ForOnly {
+            public:
+              int* out;
+              void operator()(int i) { out[i] = i; }
+            };
+            """,
+            OptConfig.gpu_all(),
+        )
+        assert prog.kernel_for("ForOnly").reduce_wrapper_source == ""

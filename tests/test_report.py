@@ -1,0 +1,110 @@
+"""Unit tests for the report generator's shape checks (crafted inputs,
+no measurement runs)."""
+
+from dataclasses import dataclass
+
+from repro.analysis import IrMix
+from repro.eval.figures import FigureData
+from repro.eval.report import shape_checks
+from repro.eval.runner import WORKLOAD_ORDER
+
+
+@dataclass
+class _Point:
+    overhead_pct: float
+
+
+def make_figure(metric, values_by_config):
+    return FigureData(
+        title="t",
+        system="s",
+        metric=metric,
+        labels=list(WORKLOAD_ORDER),
+        series={
+            config: [values[name] for name in WORKLOAD_ORDER]
+            for config, values in values_by_config.items()
+        },
+    )
+
+
+def paperlike_inputs():
+    """Inputs shaped like the paper's results (all checks should pass)."""
+    base7 = {
+        "BarnesHut": 1.3, "BFS": 2.6, "BTree": 2.4, "ClothPhysics": 1.4,
+        "ConnectedComponent": 1.5, "FaceDetect": 1.2, "Raytracer": 9.0,
+        "SkipList": 2.3, "SSSP": 2.2,
+    }
+    fig7 = make_figure("speedup", {
+        "GPU": {k: v / 1.07 for k, v in base7.items()},
+        "GPU+PTROPT": base7,
+        "GPU+L3OPT": {k: v / 1.07 for k, v in base7.items()},
+        "GPU+ALL": base7,
+    })
+    energy8 = {
+        "BarnesHut": 1.5, "BFS": 1.9, "BTree": 2.0, "ClothPhysics": 1.4,
+        "ConnectedComponent": 1.6, "FaceDetect": 0.93, "Raytracer": 6.0,
+        "SkipList": 2.1, "SSSP": 2.0,
+    }
+    fig8 = make_figure("energy", {c: energy8 for c in
+                                  ("GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL")})
+    speed9 = {
+        "BarnesHut": 0.53, "BFS": 1.2, "BTree": 1.0, "ClothPhysics": 0.9,
+        "ConnectedComponent": 1.1, "FaceDetect": 1.0, "Raytracer": 2.6,
+        "SkipList": 1.3, "SSSP": 1.2,
+    }
+    fig9 = make_figure("speedup", {
+        "GPU": {k: v / 1.09 for k, v in speed9.items()},
+        "GPU+PTROPT": speed9,
+        "GPU+L3OPT": {k: v / 1.09 for k, v in speed9.items()},
+        "GPU+ALL": speed9,
+    })
+    energy10 = {
+        "BarnesHut": 1.48, "BFS": 2.94, "BTree": 2.43, "ClothPhysics": 1.3,
+        "ConnectedComponent": 1.4, "FaceDetect": 0.9, "Raytracer": 3.52,
+        "SkipList": 2.27, "SSSP": 1.6,
+    }
+    fig10 = make_figure("energy", {c: energy10 for c in
+                                   ("GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL")})
+    overhead = [_Point(1.0), _Point(6.0)]
+    mixes = {
+        name: IrMix(control=30, memory=25, remaining=45)
+        for name in WORKLOAD_ORDER
+    }
+    mixes["Raytracer"] = IrMix(control=10, memory=10, remaining=80)
+    mixes["ClothPhysics"] = IrMix(control=12, memory=12, remaining=76)
+    return fig7, fig8, fig9, fig10, overhead, mixes
+
+
+class TestShapeChecks:
+    def test_paperlike_inputs_all_pass(self):
+        checks = shape_checks(*paperlike_inputs())
+        assert len(checks) == 11
+        failing = [c.name for c in checks if not c.passed]
+        assert not failing, failing
+
+    def test_detects_wrong_winner(self):
+        fig7, fig8, fig9, fig10, overhead, mixes = paperlike_inputs()
+        # swap the winner: BFS suddenly beats Raytracer on the Ultrabook
+        idx_bfs = fig7.labels.index("BFS")
+        for series in fig7.series.values():
+            series[idx_bfs] = 99.0
+        checks = shape_checks(fig7, fig8, fig9, fig10, overhead, mixes)
+        failed = {c.name for c in checks if not c.passed}
+        assert any("Raytracer is the best" in name for name in failed)
+
+    def test_detects_barneshut_crossover_loss(self):
+        fig7, fig8, fig9, fig10, overhead, mixes = paperlike_inputs()
+        idx = fig9.labels.index("BarnesHut")
+        for series in fig9.series.values():
+            series[idx] = 1.4  # GPU suddenly faster: crossover gone
+        checks = shape_checks(fig7, fig8, fig9, fig10, overhead, mixes)
+        failed = {c.name for c in checks if not c.passed}
+        assert any("BarnesHut slower" in name for name in failed)
+
+    def test_detects_negative_svm_overhead(self):
+        fig7, fig8, fig9, fig10, _, mixes = paperlike_inputs()
+        checks = shape_checks(
+            fig7, fig8, fig9, fig10, [_Point(-3.0), _Point(-1.0)], mixes
+        )
+        failed = {c.name for c in checks if not c.passed}
+        assert any("SVM overhead" in name for name in failed)

@@ -1,0 +1,175 @@
+"""Error-path tests: the IR verifier catches malformed IR, the parser
+rejects bad syntax with positions, sema rejects bad programs, and the pass
+manager records statistics."""
+
+import pytest
+
+from repro.ir import (
+    BOOL,
+    Constant,
+    Function,
+    FunctionType,
+    I32,
+    IRBuilder,
+    VOID,
+    VerificationError,
+    add_phi_incoming,
+    verify_function,
+)
+from repro.minicpp import ParseError, Sema, SemaError, parse
+from repro.passes import PassManager
+from repro.passes.pipeline import PassStats
+
+
+class TestVerifier:
+    def test_missing_terminator(self):
+        fn = Function("f", FunctionType(VOID, ()), [])
+        block = fn.new_block("entry")
+        b = IRBuilder(block)
+        b.add(Constant(I32, 1), Constant(I32, 2))
+        with pytest.raises(VerificationError, match="no terminator"):
+            verify_function(fn)
+
+    def test_branch_to_removed_block(self):
+        fn = Function("f", FunctionType(VOID, ()), [])
+        entry = fn.new_block("entry")
+        target = fn.new_block("target")
+        b = IRBuilder(entry)
+        b.br(target)
+        b.position_at_end(target)
+        b.ret()
+        fn.remove_block(target)
+        with pytest.raises(VerificationError, match="removed block"):
+            verify_function(fn)
+
+    def test_phi_incoming_mismatch(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        join = fn.new_block("join")
+        other = fn.new_block("other")
+        b = IRBuilder(entry)
+        b.br(join)
+        b.position_at_end(join)
+        phi = b.phi(I32, "x")
+        b.ret(phi)
+        b.position_at_end(other)
+        b.ret(Constant(I32, 0))
+        # phi lists 'other' which is not a predecessor
+        add_phi_incoming(phi, Constant(I32, 1), other)
+        with pytest.raises(VerificationError, match="incoming"):
+            verify_function(fn)
+
+    def test_use_before_def_in_block(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        first = b.add(Constant(I32, 1), Constant(I32, 2), "first")
+        second = b.add(first, Constant(I32, 3), "second")
+        b.ret(second)
+        # swap so a use precedes its definition
+        entry.instructions[0], entry.instructions[1] = (
+            entry.instructions[1],
+            entry.instructions[0],
+        )
+        with pytest.raises(VerificationError, match="use before def"):
+            verify_function(fn)
+
+    def test_def_does_not_dominate_use(self):
+        fn = Function("f", FunctionType(I32, (BOOL,)), ["c"])
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        right = fn.new_block("right")
+        b = IRBuilder(entry)
+        b.condbr(fn.args[0], left, right)
+        b.position_at_end(left)
+        value = b.add(Constant(I32, 1), Constant(I32, 2), "v")
+        b.ret(value)
+        b.position_at_end(right)
+        b.ret(value)  # not dominated by 'left'
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_function(fn)
+
+    def test_load_from_non_pointer(self):
+        fn = Function("f", FunctionType(I32, (I32,)), ["x"])
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        from repro.ir import Instruction
+
+        bad = Instruction("load", I32, [fn.args[0]])
+        entry.append(bad)
+        b.ret(bad)
+        with pytest.raises(VerificationError, match="non-pointer"):
+            verify_function(fn)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "class A { public: int x; }",  # missing ;
+            "int f( { return 1; }",  # bad params
+            "class B { public: void m() { if } };",  # bad statement
+            "int g() { return 1 + ; }",  # bad expression
+            "template<> class C { };",  # empty template header
+        ],
+    )
+    def test_syntax_errors_raise(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_error_carries_location(self):
+        try:
+            parse("class A {\n  public:\n  int x\n};")
+        except ParseError as exc:
+            assert "line" in str(exc)
+        else:
+            pytest.fail("expected ParseError")
+
+
+class TestSemaErrors:
+    def test_unknown_base_class(self):
+        with pytest.raises(SemaError, match="unknown base"):
+            Sema(parse("class D : public Missing { public: int x; };"))
+
+    def test_duplicate_class(self):
+        with pytest.raises(SemaError, match="duplicate"):
+            Sema(parse("class A { public: int x; };\nclass A { public: int y; };"))
+
+    def test_recursive_value_embedding(self):
+        with pytest.raises(SemaError):
+            Sema(parse("class A { public: A inner; };"))
+
+    def test_template_arity_mismatch(self):
+        sema = Sema(parse("template<typename T> class Box { public: T v; };"))
+        from repro.ir.types import F32, I32
+
+        with pytest.raises(SemaError, match="expects"):
+            sema.instantiate_class_template("Box", [I32, F32])
+
+
+class TestPassManager:
+    def test_records_stats(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        dead = b.add(Constant(I32, 1), Constant(I32, 2), "dead")
+        b.ret(Constant(I32, 0))
+        from repro.passes import dead_code_elimination
+
+        manager = PassManager(verify=True)
+        changed = manager.run(fn, [dead_code_elimination], max_iterations=3)
+        assert changed
+        stats = manager.stats["dead_code_elimination"]
+        assert stats.runs >= 1
+        assert stats.changed >= 1
+        assert stats.seconds >= 0.0
+
+    def test_stops_when_stable(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        IRBuilder(entry).ret(Constant(I32, 0))
+        from repro.passes import dead_code_elimination
+
+        manager = PassManager()
+        assert not manager.run(fn, [dead_code_elimination], max_iterations=5)
+        assert manager.stats["dead_code_elimination"].runs == 1

@@ -1,0 +1,213 @@
+"""Structural unit tests for the data structures the workloads build in
+shared memory: B-tree bulk load, skip-list levels, octree ropes, cloth
+springs, cascade layout — independent of kernel execution."""
+
+import math
+
+import pytest
+
+from repro.passes import OptConfig
+from repro.runtime.system import ultrabook
+from repro.workloads.barneshut import BarnesHutWorkload, _build_octree
+from repro.workloads.btree import ORDER, BTreeWorkload
+from repro.workloads.clothphysics import ClothPhysicsWorkload
+from repro.workloads.facedetect import NUM_STAGES, FaceDetectWorkload
+from repro.workloads.skiplist import MAX_LEVEL, SkipListWorkload
+
+
+class TestBTreeStructure:
+    @pytest.fixture(scope="class")
+    def state(self):
+        workload = BTreeWorkload()
+        rt = BTreeWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        return rt, workload.build(rt, 0.2)
+
+    def test_all_keys_reachable_by_host_walk(self, state):
+        rt, st = state
+        root = st.body.deref("root")
+        found = {}
+
+        def walk(node):
+            keys = node.view("keys")
+            values = node.view("values")
+            children = node.view("children")
+            if node.is_leaf:
+                for k in range(node.num_keys):
+                    found[keys[k]] = values[k]
+                return
+            for k in range(node.num_keys + 1):
+                child = children[k]
+                assert child != 0
+                walk(rt.view("BTreeNode", child))
+
+        walk(root)
+        assert found == st.table
+
+    def test_leaves_within_order(self, state):
+        rt, st = state
+        root = st.body.deref("root")
+        sizes = []
+
+        def walk(node):
+            if node.is_leaf:
+                sizes.append(node.num_keys)
+                return
+            children = node.view("children")
+            for k in range(node.num_keys + 1):
+                walk(rt.view("BTreeNode", children[k]))
+
+        walk(root)
+        assert all(1 <= s <= ORDER for s in sizes)
+        # deliberately uneven fill -> irregular search depth
+        assert len(set(sizes)) > 1
+
+    def test_keys_sorted_within_leaves(self, state):
+        rt, st = state
+        root = st.body.deref("root")
+
+        def walk(node):
+            keys = [node.view("keys")[k] for k in range(node.num_keys)]
+            assert keys == sorted(keys)
+            if not node.is_leaf:
+                children = node.view("children")
+                for k in range(node.num_keys + 1):
+                    walk(rt.view("BTreeNode", children[k]))
+
+        walk(root)
+
+
+class TestSkipListStructure:
+    @pytest.fixture(scope="class")
+    def state(self):
+        workload = SkipListWorkload()
+        rt = SkipListWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        return rt, workload.build(rt, 0.2)
+
+    def test_level_zero_is_sorted_and_complete(self, state):
+        rt, st = state
+        head = st.body.deref("head")
+        node_addr = head.view("next")[0]
+        keys = []
+        while node_addr:
+            node = rt.view("SkipNode", node_addr)
+            keys.append(node.key)
+            node_addr = node.view("next")[0]
+        assert keys == sorted(st.table)
+
+    def test_higher_levels_are_sublists(self, state):
+        rt, st = state
+
+        def level_keys(level):
+            head = st.body.deref("head")
+            node_addr = head.view("next")[level]
+            keys = []
+            while node_addr:
+                node = rt.view("SkipNode", node_addr)
+                keys.append(node.key)
+                node_addr = node.view("next")[level]
+            return keys
+
+        previous = level_keys(0)
+        for level in range(1, MAX_LEVEL):
+            current = level_keys(level)
+            assert set(current) <= set(previous)
+            assert current == sorted(current)
+            previous = current
+
+    def test_geometric_level_decay(self, state):
+        rt, st = state
+        head = st.body.deref("head")
+        counts = []
+        for level in range(3):
+            n = 0
+            node_addr = head.view("next")[level]
+            while node_addr:
+                node = rt.view("SkipNode", node_addr)
+                n += 1
+                node_addr = node.view("next")[level]
+            counts.append(n)
+        assert counts[0] > counts[1] > counts[2] > 0
+
+
+class TestOctreeRopes:
+    def test_rope_traversal_visits_all_leaves(self):
+        workload = BarnesHutWorkload()
+        rt = BarnesHutWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.2)
+        n = len(state.positions)
+        root = state.body.deref("root")
+        visited = []
+        node = root
+        steps = 0
+        while node is not None and steps < 100_000:
+            steps += 1
+            if node.more == 0 and node.body_index >= 0:
+                visited.append(node.body_index)
+            next_addr = node.more if node.more else node.next
+            node = rt.view("OctNode", next_addr) if next_addr else None
+        assert sorted(visited) == list(range(n))
+
+    def test_center_of_mass_consistency(self):
+        positions = [(0.25, 0.25, 0.25), (0.75, 0.75, 0.75)]
+        masses = [1.0, 3.0]
+        root = _build_octree(positions, masses)
+        assert root.mass == pytest.approx(4.0)
+        assert root.cx == pytest.approx((0.25 * 1 + 0.75 * 3) / 4)
+
+    def test_unbalanced_tree_from_clusters(self):
+        workload = BarnesHutWorkload()
+        rt = BarnesHutWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.3)
+        root = state.body.deref("root")
+        # walk the rope recording leaf depths via the size field (leaf size
+        # halves per level): clustered input must produce varied depths
+        depths = set()
+        node_addr = state.body.root
+        steps = 0
+        while node_addr and steps < 100_000:
+            steps += 1
+            node = rt.view("OctNode", node_addr)
+            if node.more == 0 and node.body_index >= 0 and node.size > 0:
+                depths.add(round(math.log2(1.0 / node.size)))
+            node_addr = node.more if node.more else node.next
+        assert len(depths) >= 3  # at least three distinct leaf depths
+
+
+class TestClothStructure:
+    def test_spring_symmetry_and_counts(self):
+        workload = ClothPhysicsWorkload()
+        rt = ClothPhysicsWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.4)
+        pairs = set()
+        for node_index, springs in enumerate(state.springs):
+            for other, rest in springs:
+                pairs.add((node_index, other))
+        for a, b in pairs:
+            assert (b, a) in pairs  # every spring has its mirror
+        # corner nodes have 3 springs, interior nodes 8
+        assert len(state.springs[0]) == 3
+        interior = state.width + 1
+        assert len(state.springs[interior]) == 8
+
+    def test_pinned_corners(self):
+        workload = ClothPhysicsWorkload()
+        rt = ClothPhysicsWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.4)
+        assert state.nodes[0].inv_mass == 0.0
+        assert state.nodes[state.width - 1].inv_mass == 0.0
+        assert state.nodes[state.width].inv_mass == 1.0
+
+
+class TestCascadeStructure:
+    def test_cascade_layout_in_svm(self):
+        workload = FaceDetectWorkload()
+        rt = FaceDetectWorkload.make_runtime(OptConfig.gpu_all(), ultrabook())
+        state = workload.build(rt, 0.4)
+        cascade = state.body.deref("cascade")
+        assert cascade.num_stages == NUM_STAGES
+        stages_addr = cascade.stages
+        first = rt.view("CascadeStage", stages_addr)
+        assert first.num_features >= 1
+        feature = rt.view("HaarFeature", first.features)
+        assert 0 <= feature.x0 < feature.x1 <= 8
+        assert 0 <= feature.y0 < feature.y1 <= 8

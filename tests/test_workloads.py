@@ -1,0 +1,108 @@
+"""Integration tests: all nine workloads compile, run, and validate on
+both devices and under every optimization configuration.
+
+These are the heaviest tests in the suite; they use small scales.
+"""
+
+import warnings
+
+import pytest
+
+from repro.passes import OptConfig
+from repro.runtime.system import desktop, ultrabook
+from repro.workloads import all_workloads
+
+WORKLOADS = all_workloads()
+SMALL = 0.2
+
+
+def _execute(name, config, on_cpu=False, system=None, scale=SMALL):
+    workload = WORKLOADS[name]()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return workload.execute(
+            config, system or ultrabook(), on_cpu=on_cpu, scale=scale
+        )
+
+
+class TestAllWorkloadsGpu:
+    """GPU+ALL execution validates against the Python references."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_gpu_all_validates(self, name):
+        outcome = _execute(name, OptConfig.gpu_all())
+        assert outcome.device == "gpu"
+        assert outcome.seconds > 0
+        assert outcome.energy_joules > 0
+
+
+class TestAllWorkloadsCpu:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_cpu_validates(self, name):
+        outcome = _execute(name, OptConfig.gpu_all(), on_cpu=True)
+        assert outcome.device == "cpu"
+        assert outcome.seconds > 0
+
+
+class TestConfigIndependence:
+    """The optimizations must not change results, only cost."""
+
+    @pytest.mark.parametrize(
+        "name", ["BFS", "BTree", "SkipList", "Raytracer", "FaceDetect"]
+    )
+    def test_all_configs_same_results(self, name):
+        for config in OptConfig.all_configs():
+            _execute(name, config)  # validation inside execute
+
+
+class TestDesktopSystem:
+    @pytest.mark.parametrize("name", ["SSSP", "ConnectedComponent", "ClothPhysics"])
+    def test_desktop_gpu(self, name):
+        outcome = _execute(name, OptConfig.gpu_all(), system=desktop())
+        assert outcome.device == "gpu"
+
+
+class TestWorkloadMetadata:
+    def test_table1_metadata_complete(self):
+        for name, cls in WORKLOADS.items():
+            assert cls.name == name
+            assert cls.origin
+            assert cls.data_structure
+            assert cls.body_class
+            assert cls.loc() > 10
+            assert 0 < cls.device_loc() <= cls.loc()
+
+    def test_nine_paper_workloads_plus_comparator(self):
+        paper = {
+            "BarnesHut", "BFS", "BTree", "ClothPhysics", "ConnectedComponent",
+            "FaceDetect", "Raytracer", "SkipList", "SSSP",
+        }
+        assert paper <= set(WORKLOADS)
+        assert "RaytracerFlat" in WORKLOADS  # section 5.4 comparator
+
+    def test_cloth_uses_reduce(self):
+        assert WORKLOADS["ClothPhysics"].parallel_construct == "parallel_reduce_hetero"
+
+
+class TestCrossDeviceAgreement:
+    """Pointer-heavy workloads must produce identical results on CPU and
+    GPU paths (same memory contents after the run)."""
+
+    @pytest.mark.parametrize("name", ["BFS", "SSSP", "BTree", "SkipList"])
+    def test_cpu_gpu_agree(self, name):
+        cls = WORKLOADS[name]
+        workload = cls()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            rt1 = cls.make_runtime(OptConfig.gpu_all(), ultrabook())
+            state1 = workload.build(rt1, SMALL)
+            workload.run(rt1, state1, on_cpu=False)
+            rt2 = cls.make_runtime(OptConfig.gpu_all(), ultrabook())
+            state2 = workload.build(rt2, SMALL)
+            workload.run(rt2, state2, on_cpu=True)
+        if hasattr(state1, "results"):
+            assert state1.results.to_list() == state2.results.to_list()
+        elif hasattr(state1, "dist"):
+            assert state1.dist.to_list() == state2.dist.to_list()
+        elif hasattr(state1, "labels"):
+            assert state1.labels.to_list() == state2.labels.to_list()
