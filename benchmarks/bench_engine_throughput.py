@@ -1,0 +1,98 @@
+"""Throughput of the threaded-code engine vs the reference interpreter.
+
+Two measurements, printed as tables (numbers are recorded per-PR in
+CHANGES.md):
+
+* **Kernel throughput** — dynamic IR instructions per second achieved by
+  each engine running BFS, Raytracer and SkipList end-to-end (build + all
+  launches + validation) on the Ultrabook model.
+* **Figure 7 sweep wall-clock** — the full nine-workload ultrabook speedup
+  sweep (the paper's headline figure), end to end, per engine.
+
+Each measurement is the best of ``REPRO_BENCH_REPEATS`` runs (the standard
+``timeit`` convention: the minimum is the least noise-contaminated sample
+on a shared machine; higher samples measure scheduler interference, not
+the code).
+
+Run as a script (not collected by the tier-1 suite)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    REPRO_BENCH_SCALE=0.4 REPRO_BENCH_REPEATS=3 \
+        PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+KERNEL_WORKLOADS = ("BFS", "Raytracer", "SkipList")
+ENGINES = ("reference", "compiled")
+
+
+def _run_workload(name: str, engine: str, scale: float, repeats: int):
+    """Execute one workload end-to-end; returns (best seconds, dyn instrs)."""
+    from repro.passes import OptConfig
+    from repro.runtime.system import ultrabook
+    from repro.workloads import all_workloads
+
+    best = float("inf")
+    instructions = 0
+    for _ in range(repeats):
+        workload = all_workloads()[name]()
+        start = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            outcome = workload.execute(
+                OptConfig.gpu_all(), ultrabook(), scale=scale, engine=engine
+            )
+        best = min(best, time.perf_counter() - start)
+        instructions = sum(r.report.instructions for r in outcome.reports)
+    return best, instructions
+
+
+def _run_figure7(engine: str, scale: float, repeats: int) -> float:
+    from repro.eval.runner import clear_cache, measure_all
+    from repro.runtime.system import ultrabook
+
+    best = float("inf")
+    for _ in range(repeats):
+        clear_cache()
+        start = time.perf_counter()
+        # measure_all threads the engine through every workload execution.
+        measure_all(ultrabook(), scale=scale, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+    repeats = max(1, int(os.environ.get("REPRO_BENCH_REPEATS", "3")))
+    print(f"engine throughput @ scale={scale}, best of {repeats}\n")
+
+    print(f"{'workload':<12} {'engine':<10} {'wall s':>8} {'dyn instr':>12} {'instr/s':>12}")
+    kernel_rates: dict[str, dict[str, float]] = {}
+    for name in KERNEL_WORKLOADS:
+        kernel_rates[name] = {}
+        for engine in ENGINES:
+            seconds, instructions = _run_workload(name, engine, scale, repeats)
+            rate = instructions / seconds if seconds > 0 else 0.0
+            kernel_rates[name][engine] = rate
+            print(
+                f"{name:<12} {engine:<10} {seconds:>8.2f} "
+                f"{instructions:>12,} {rate:>12,.0f}"
+            )
+        ratio = kernel_rates[name]["compiled"] / kernel_rates[name]["reference"]
+        print(f"{name:<12} {'speedup':<10} {ratio:>8.2f}x\n")
+
+    print("Figure 7 ultrabook sweep (nine workloads, all configs):")
+    sweep: dict[str, float] = {}
+    for engine in ENGINES:
+        sweep[engine] = _run_figure7(engine, scale, repeats)
+        print(f"  {engine:<10} {sweep[engine]:>8.2f} s")
+    print(f"  end-to-end speedup: {sweep['reference'] / sweep['compiled']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,7 @@ energy on a :class:`~repro.cpu.device.CpuDevice`:
 
 from __future__ import annotations
 
+from ..exec.buffers import iter_mem_events
 from ..exec.interp import ExecTrace
 from ..gpu.cache import CacheModel
 from ..gpu.timing import DeviceReport
@@ -53,9 +54,9 @@ def time_cpu_execution(
             slot = merged_branches.setdefault(uid, [0, 0])
             slot[0] += taken
             slot[1] += total
-        for event in trace.mem_events:
-            first = event.address // device.llc_line_bytes
-            last = (event.address + event.size - 1) // device.llc_line_bytes
+        for _uid, _seq, address, size in iter_mem_events(trace):
+            first = address // device.llc_line_bytes
+            last = (address + size - 1) // device.llc_line_bytes
             for line in range(first, last + 1):
                 if l1.access(line):
                     # L1 hits are effectively free: their latency is
@@ -71,7 +72,10 @@ def time_cpu_execution(
                     mem_latency += device.dram_latency_cycles
                     dram_bytes += device.llc_line_bytes
 
-    for taken, total in merged_branches.values():
+    # Canonical order — float accumulation must not depend on which engine's
+    # trace-dict insertion order we got.
+    for uid in sorted(merged_branches):
+        taken, total = merged_branches[uid]
         branches += total
         bias = max(taken, total - taken) / total if total else 1.0
         mispredicts += total * (1.0 - bias)

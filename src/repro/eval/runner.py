@@ -61,8 +61,9 @@ def measure_workload(
     system: System,
     scale: float = 1.0,
     validate: bool = True,
+    engine: str = "compiled",
 ) -> Measurement:
-    key = (workload_cls.__name__, system.name, round(scale, 4))
+    key = (workload_cls.__name__, system.name, round(scale, 4), engine)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
@@ -71,7 +72,12 @@ def measure_workload(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
         cpu_outcome = workload.execute(
-            OptConfig.gpu_all(), system, on_cpu=True, scale=scale, validate=validate
+            OptConfig.gpu_all(),
+            system,
+            on_cpu=True,
+            scale=scale,
+            validate=validate,
+            engine=engine,
         )
         measurement = Measurement(
             workload=workload_cls.name,
@@ -81,7 +87,12 @@ def measure_workload(
         )
         for config in OptConfig.all_configs():
             outcome = workload.execute(
-                config, system, on_cpu=False, scale=scale, validate=validate
+                config,
+                system,
+                on_cpu=False,
+                scale=scale,
+                validate=validate,
+                engine=engine,
             )
             measurement.gpu_seconds[config.label] = outcome.seconds
             measurement.gpu_energy[config.label] = outcome.energy_joules
@@ -90,12 +101,12 @@ def measure_workload(
 
 
 def measure_all(
-    system: System, scale: float = 1.0, validate: bool = True
+    system: System, scale: float = 1.0, validate: bool = True, engine: str = "compiled"
 ) -> dict[str, Measurement]:
     workloads = all_workloads()
     result = {}
     for name in WORKLOAD_ORDER:
-        result[name] = measure_workload(workloads[name], system, scale, validate)
+        result[name] = measure_workload(workloads[name], system, scale, validate, engine)
     return result
 
 

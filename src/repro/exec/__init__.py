@@ -1,5 +1,24 @@
-"""Scalar IR execution engine shared by the CPU/GPU simulators and host."""
+"""Scalar IR execution engines shared by the CPU/GPU simulators and host.
 
+Two interchangeable backends execute the same IR over the same shared
+region:
+
+* :class:`Interpreter` — the reference backend: a direct tree walk over
+  the IR object graph, easy to audit, used as the oracle in equivalence
+  tests (``ConcordRuntime(engine="reference")``).
+* :class:`CompiledEngine` — the threaded-code backend (default): each
+  function is lowered once by :class:`CodeCache` into specialized Python
+  closures and every launch replays the compiled form.  See
+  :mod:`repro.exec.compiled` and ``docs/ENGINE.md``.
+"""
+
+from .buffers import (
+    DEFAULT_MEM_EVENT_CAP,
+    MemEventColumns,
+    PrivateMemoryPool,
+    iter_mem_events,
+)
+from .compiled import CodeCache, CompiledEngine, CompiledFunction
 from .interp import (
     AddressSpace,
     ExecTrace,
@@ -10,8 +29,15 @@ from .interp import (
 
 __all__ = [
     "AddressSpace",
+    "CodeCache",
+    "CompiledEngine",
+    "CompiledFunction",
+    "DEFAULT_MEM_EVENT_CAP",
     "ExecTrace",
     "ExecutionError",
     "Interpreter",
     "MemEvent",
+    "MemEventColumns",
+    "PrivateMemoryPool",
+    "iter_mem_events",
 ]

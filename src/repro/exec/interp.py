@@ -29,6 +29,7 @@ from ..ir.intrinsics import MATH_EVAL
 from ..ir.types import FloatType, IntType, PointerType, VoidType
 from ..svm.memory import MemoryFault
 from ..svm.region import SharedRegion
+from .buffers import DEFAULT_MEM_EVENT_CAP, PrivateMemoryPool
 
 
 class ExecutionError(Exception):
@@ -48,11 +49,25 @@ class MemEvent:
 
 @dataclass
 class ExecTrace:
+    """Per-invocation execution trace.
+
+    ``mem_events`` is either a plain list of :class:`MemEvent` (the
+    reference interpreter's representation) or a columnar
+    :class:`~repro.exec.buffers.MemEventColumns` buffer (the threaded-code
+    engine's); both support ``append``/``len``/iteration, and the timing
+    models stream either through
+    :func:`~repro.exec.buffers.iter_mem_events`.
+
+    ``mem_event_cap`` defaults to :data:`DEFAULT_MEM_EVENT_CAP`, the same
+    constant :class:`~repro.runtime.runtime.ConcordRuntime` is built with
+    and threads into every trace it creates.
+    """
+
     instructions: int = 0
     block_counts: dict = field(default_factory=dict)  # block uid -> count
     branch_stats: dict = field(default_factory=dict)  # instr uid -> [taken, total]
     mem_events: list = field(default_factory=list)
-    mem_event_cap: int = 200_000
+    mem_event_cap: int = DEFAULT_MEM_EVENT_CAP
     mem_events_dropped: int = 0
     flops: int = 0
     int_ops: int = 0
@@ -66,6 +81,10 @@ class ExecTrace:
             self.mem_events_dropped += 1
 
     def merge(self, other: "ExecTrace") -> None:
+        """Fold ``other`` into this trace: counters add, and ``other``'s
+        memory events are appended up to this trace's cap (events beyond
+        the cap are counted in ``mem_events_dropped``, exactly like events
+        recorded directly)."""
         self.instructions += other.instructions
         for uid, count in other.block_counts.items():
             self.block_counts[uid] = self.block_counts.get(uid, 0) + count
@@ -73,6 +92,8 @@ class ExecTrace:
             mine = self.branch_stats.setdefault(uid, [0, 0])
             mine[0] += taken
             mine[1] += total
+        for event in other.mem_events:
+            self.record_mem(event)
         self.flops += other.flops
         self.int_ops += other.int_ops
         self.translations += other.translations
@@ -117,6 +138,7 @@ class Interpreter:
         num_cores: int = 1,
         symbols: Optional[dict[int, object]] = None,
         allocator=None,
+        private_pool: Optional[PrivateMemoryPool] = None,
     ):
         self.region = region
         self.space = AddressSpace(region, device)
@@ -132,7 +154,9 @@ class Interpreter:
         # shared-heap allocator for host-side svm.malloc/svm.free
         self.allocator = allocator
         self._steps = 0
-        self._private_mem: dict[int, bytearray] = {}
+        self._pool = private_pool
+        self._priv_buf: Optional[bytearray] = None
+        self._priv_dirty = 0
         self._private_next = 0x1000
         self._mem_seq: dict[int, int] = {}
 
@@ -169,11 +193,24 @@ class Interpreter:
         )
 
     def _private_bytes(self) -> bytearray:
-        buf = self._private_mem.get(0)
+        buf = self._priv_buf
         if buf is None:
-            buf = bytearray(self.PRIVATE_WINDOW + 0x1000)
-            self._private_mem[0] = buf
+            if self._pool is not None:
+                buf = self._pool.acquire()
+            else:
+                buf = bytearray(self.PRIVATE_WINDOW + 0x1000)
+            self._priv_buf = buf
         return buf
+
+    def release_private_memory(self) -> None:
+        """Return the private-memory buffer to the pool (no-op without a
+        pool or if no alloca ever touched private memory).  The buffer is
+        re-zeroed up to the dirty high-water mark, so the next acquirer
+        observes exactly the all-zero state a fresh buffer would have."""
+        if self._pool is not None and self._priv_buf is not None:
+            self._pool.release(self._priv_buf, self._priv_dirty)
+            self._priv_buf = None
+            self._priv_dirty = 0
 
     # -- memory access ---------------------------------------------------------
 
@@ -193,6 +230,8 @@ class Interpreter:
         if self._is_private(address):
             off = address - self.PRIVATE_BASE
             self._private_bytes()[off : off + size] = raw
+            if off + size > self._priv_dirty:
+                self._priv_dirty = off + size
             return
         physical = self.space.to_physical(address, size)
         self.region.physical.write_bytes(physical, raw)
@@ -550,8 +589,12 @@ def _encode_scalar(value, type_) -> bytes:
     raise ExecutionError(f"cannot store aggregate {type_} as scalar")
 
 
+_F32_PACK = struct.Struct("f").pack
+_F32_UNPACK = struct.Struct("f").unpack
+
+
 def _f32(value: float) -> float:
-    return struct.unpack("f", struct.pack("f", value))[0]
+    return _F32_UNPACK(_F32_PACK(value))[0]
 
 
 def _srem(a, b):

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exec.buffers import iter_mem_events
 from ..exec.interp import ExecTrace
 from ..ir import Function
 from .cache import CacheModel
@@ -196,8 +197,12 @@ def time_gpu_kernel(
                 if count > block_max.get(uid, 0):
                     block_max[uid] = count
                 block_sum[uid] = block_sum.get(uid, 0) + count
+        # Sum in canonical (sorted-uid) order: float accumulation order must
+        # not depend on trace-dict insertion order, which differs between
+        # the reference interpreter and the threaded-code engine.
         warp_issue = 0.0
-        for uid, max_count in block_max.items():
+        for uid in sorted(block_max):
+            max_count = block_max[uid]
             estimate = float(max_count)
             parent = guarded.get(uid)
             if parent is not None and len(lanes) > 1:
@@ -213,36 +218,48 @@ def time_gpu_kernel(
                     estimate = max(estimate, parent_occ * (1.0 - miss_all))
             warp_issue += estimate * sizes.get(uid, 1)
         warp_converged = sum(
-            (block_sum[uid] / len(lanes)) * sizes.get(uid, 1) for uid in block_sum
+            (block_sum[uid] / len(lanes)) * sizes.get(uid, 1)
+            for uid in sorted(block_sum)
         )
         total_issue += warp_issue
         converged_issue += warp_converged
 
         # -- memory transactions (coalescing per dynamic occurrence)
         occurrence: dict[tuple, list] = {}
+        setdefault = occurrence.setdefault
         for lane in lanes:
-            for event in lane.mem_events:
-                occurrence.setdefault((event.instr_uid, event.seq), []).append(event)
+            # (instr_uid, seq, address, size) tuples; streams either the
+            # list or the columnar trace representation.
+            for instr_uid, seq, address, size in iter_mem_events(lane):
+                setdefault((instr_uid, seq), []).append((address, size))
+        line_bytes = device.l3_line_bytes
+        l3_access = l3.access
+        l3_hit_cycles = device.l3_hit_cycles
+        dram_latency = device.dram_latency_cycles
+        touches_setdefault = line_touches.setdefault
         warp_tx = 0
         for key, events in occurrence.items():
             lines = {}
-            for event in events:
-                first = event.address // device.l3_line_bytes
-                last = (event.address + event.size - 1) // device.l3_line_bytes
-                for line in range(first, last + 1):
-                    lines[line] = True
+            for address, size in events:
+                first = address // line_bytes
+                last = (address + size - 1) // line_bytes
+                if first == last:
+                    lines[first] = True
+                else:
+                    for line in range(first, last + 1):
+                        lines[line] = True
             warp_tx += len(lines)
+            instr_uid, seq = key
             for line in lines:
                 mem_transactions += 1
-                if l3.access(line):
+                if l3_access(line):
                     l3_hits += 1
-                    mem_latency_cycles += device.l3_hit_cycles
+                    mem_latency_cycles += l3_hit_cycles
                 else:
                     l3_misses += 1
-                    mem_latency_cycles += device.dram_latency_cycles
-                    dram_bytes += device.l3_line_bytes
-                touched = line_touches.setdefault((key[0], key[1], line), set())
-                touched.add(eu)
+                    mem_latency_cycles += dram_latency
+                    dram_bytes += line_bytes
+                touches_setdefault((instr_uid, seq, line), set()).add(eu)
         crack_slots = GATHER_CRACK_SLOTS * max(0, warp_tx - len(occurrence))
         total_issue += crack_slots
 

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cpu.timing import time_cpu_execution
+from ..exec.buffers import DEFAULT_MEM_EVENT_CAP, MemEventColumns, PrivateMemoryPool
+from ..exec.compiled import CodeCache, CompiledEngine
 from ..exec.interp import ExecTrace, Interpreter
 from ..gpu.cache import CacheModel
 from ..gpu.timing import DeviceReport, time_gpu_kernel
@@ -88,15 +90,36 @@ class ConcordRuntime:
         system: Optional[System] = None,
         region_size: int = 1 << 24,
         collect_mem_events: bool = True,
-        mem_event_cap: int = 120_000,
+        mem_event_cap: int = DEFAULT_MEM_EVENT_CAP,
+        engine: str = "compiled",
+        keep_traces: bool = False,
     ):
+        if engine not in ("compiled", "reference"):
+            raise ValueError(
+                f"unknown engine {engine!r} (expected 'compiled' or 'reference')"
+            )
         self.program = program
         self.system = system or ultrabook()
         self.region = SharedRegion(region_size)
         self.allocator = SharedAllocator(self.region, reserve=1 << 14)
         self.heap = SvmHeap(self.region, self.allocator)
         self.collect_mem_events = collect_mem_events
+        # One cap, threaded into every trace this runtime creates (the
+        # traces enforce it; see repro.exec.buffers.DEFAULT_MEM_EVENT_CAP).
         self.mem_event_cap = mem_event_cap
+        self.engine = engine
+        # Threaded-code cache: each kernel compiles at most once per
+        # runtime, every launch replays the cached closures (the
+        # simulator-level analogue of the gpu_function_t JIT cache below).
+        self.code_cache = CodeCache(self.region)
+        self.private_pool = PrivateMemoryPool(
+            Interpreter.PRIVATE_WINDOW + 0x1000
+        )
+        # Debug/verification hook — when keep_traces is set, every per-construct
+        # trace is retained here in execution order (the equivalence suite
+        # compares them across engines).
+        self.keep_traces = keep_traces
+        self.trace_log: list[ExecTrace] = []
         # Device-side heap (paper future-work extension): reserved lazily
         # when the program was compiled with device_alloc.
         self._device_heap = None
@@ -182,6 +205,7 @@ class ConcordRuntime:
         if matching:
             interp = self._host_interpreter()
             interp.call_function(matching[0], [addr, *[_raw(a) for a in ctor_args]])
+            interp.release_private_memory()
             return
         if ctor_args:
             raise TypeError(
@@ -203,16 +227,70 @@ class ConcordRuntime:
         """Run any compiled function on the host interpreter (used for
         helpers, validation and the sequential join fallback)."""
         fn = self.program.module.functions[function_name]
-        return self._host_interpreter().call_function(fn, [_raw(a) for a in args])
+        interp = self._host_interpreter()
+        try:
+            return interp.call_function(fn, [_raw(a) for a in args])
+        finally:
+            interp.release_private_memory()
 
-    def _host_interpreter(self, trace: Optional[ExecTrace] = None) -> Interpreter:
-        return Interpreter(
-            self.region,
+    def _host_interpreter(self, trace: Optional[ExecTrace] = None):
+        return self._make_engine(
             device="cpu",
             trace=trace,
-            symbols=self._symbols,
             allocator=self.allocator,
             collect_mem_events=False,
+        )
+
+    # -- execution-engine factory ------------------------------------------
+
+    def _new_trace(self, cap: Optional[int] = None) -> ExecTrace:
+        """A trace with this runtime's cap; the compiled engine gets the
+        columnar event buffer (five parallel int arrays instead of one
+        MemEvent object per access)."""
+        if cap is None:
+            cap = self.mem_event_cap
+        if self.engine == "compiled":
+            return ExecTrace(mem_events=MemEventColumns(), mem_event_cap=cap)
+        return ExecTrace(mem_event_cap=cap)
+
+    def _make_engine(
+        self,
+        device: str,
+        trace: Optional[ExecTrace] = None,
+        collect_mem_events: Optional[bool] = None,
+        global_id: int = 0,
+        num_cores: int = 1,
+        allocator=None,
+    ):
+        """Build the selected execution engine.  Both engines share the
+        runtime's symbol table and private-memory pool; the compiled engine
+        additionally shares the per-runtime code cache, so constructing an
+        engine per work-item stays cheap (compile once, launch many)."""
+        if collect_mem_events is None:
+            collect_mem_events = self.collect_mem_events
+        if self.engine == "compiled":
+            return CompiledEngine(
+                self.region,
+                device=device,
+                trace=trace,
+                symbols=self._symbols,
+                collect_mem_events=collect_mem_events,
+                global_id=global_id,
+                num_cores=num_cores,
+                allocator=allocator,
+                code_cache=self.code_cache,
+                private_pool=self.private_pool,
+            )
+        return Interpreter(
+            self.region,
+            device=device,
+            trace=trace,
+            symbols=self._symbols,
+            collect_mem_events=collect_mem_events,
+            global_id=global_id,
+            num_cores=num_cores,
+            allocator=allocator,
+            private_pool=self.private_pool,
         )
 
     # -- parallel constructs --------------------------------------------------------
@@ -252,13 +330,10 @@ class ConcordRuntime:
     # -- CPU execution ---------------------------------------------------------------
 
     def _run_cpu(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        trace = ExecTrace(mem_event_cap=self.mem_event_cap)
-        interp = Interpreter(
-            self.region,
+        trace = self._new_trace()
+        interp = self._make_engine(
             device="cpu",
             trace=trace,
-            symbols=self._symbols,
-            collect_mem_events=self.collect_mem_events,
             num_cores=self.system.cpu.cores,
             allocator=self.allocator,
         )
@@ -267,6 +342,9 @@ class ConcordRuntime:
         for index in range(n):
             interp.global_id = index
             interp.call_function(kernel, [addr, index])
+        interp.release_private_memory()
+        if self.keep_traces:
+            self.trace_log.append(trace)
         report = time_cpu_execution(self.system.cpu, [trace])
         self.total_cpu_report += report
         return ExecutionReport(device="cpu", n=n, report=report)
@@ -278,13 +356,10 @@ class ConcordRuntime:
         size = struct.size()
         addr = address_of(body)
         cores = self.system.cpu.cores
-        trace = ExecTrace(mem_event_cap=self.mem_event_cap)
-        interp = Interpreter(
-            self.region,
+        trace = self._new_trace()
+        interp = self._make_engine(
             device="cpu",
             trace=trace,
-            symbols=self._symbols,
-            collect_mem_events=self.collect_mem_events,
             num_cores=cores,
             allocator=self.allocator,
         )
@@ -303,6 +378,9 @@ class ConcordRuntime:
                 interp.call_function(join, [addr, copy_addr])
         for copy_addr in copies:
             self.allocator.free(copy_addr)
+        interp.release_private_memory()
+        if self.keep_traces:
+            self.trace_log.append(trace)
         report = time_cpu_execution(self.system.cpu, [trace])
         self.total_cpu_report += report
         return ExecutionReport(device="cpu", n=n, report=report)
@@ -341,19 +419,19 @@ class ConcordRuntime:
             self.device_heap() if self.program.config.device_alloc else None
         )
         for index in range(n):
-            trace = ExecTrace(mem_event_cap=cap)
-            interp = Interpreter(
-                self.region,
+            trace = self._new_trace(cap)
+            interp = self._make_engine(
                 device="gpu",
                 trace=trace,
-                symbols=self._symbols,
-                collect_mem_events=self.collect_mem_events,
                 global_id=index,
                 num_cores=self.system.gpu.num_eus,
                 allocator=allocator,
             )
             interp.call_function(kernel, args_of(index))
+            interp.release_private_memory()
             traces.append(trace)
+        if self.keep_traces:
+            self.trace_log.extend(traces)
         return traces
 
     def _offload(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
@@ -397,10 +475,8 @@ class ConcordRuntime:
         # Tree reduction within each work-group (local memory: charge a
         # small per-level cost rather than global traffic).
         join_gpu = getattr(kinfo, "gpu_join_kernel", None) or kinfo.join_kernel
-        join_interp = Interpreter(
-            self.region,
+        join_interp = self._make_engine(
             device="gpu" if join_gpu is not None and join_gpu.attributes.get("svm_lowered") else "cpu",
-            symbols=self._symbols,
             collect_mem_events=False,
         )
         join_fn = join_gpu if join_gpu is not None else None
@@ -414,6 +490,7 @@ class ConcordRuntime:
                     source = members[offset + stride]
                     join_interp.call_function(join_fn, [into, source])
                 stride *= 2
+        join_interp.release_private_memory()
         # local-memory reduction cost: log2(group) levels of cheap traffic
         import math
 
@@ -427,6 +504,7 @@ class ConcordRuntime:
         for group_index in range(num_groups):
             leader = copies[group_index * group]
             host.call_function(kinfo.join_kernel, [addr, leader])
+        host.release_private_memory()
         for copy_addr in copies:
             self.allocator.free(copy_addr)
 

@@ -72,6 +72,8 @@ class Workload(abc.ABC):
         config: OptConfig = None,
         system: Optional[System] = None,
         collect_mem_events: bool = True,
+        engine: str = "compiled",
+        keep_traces: bool = False,
     ) -> ConcordRuntime:
         program = cls.compile(config or OptConfig.gpu_all())
         return ConcordRuntime(
@@ -79,6 +81,8 @@ class Workload(abc.ABC):
             system or ultrabook(),
             region_size=cls.region_size,
             collect_mem_events=collect_mem_events,
+            engine=engine,
+            keep_traces=keep_traces,
         )
 
     @abc.abstractmethod
@@ -126,9 +130,10 @@ class Workload(abc.ABC):
         scale: float = 1.0,
         validate: bool = True,
         collect_mem_events: bool = True,
+        engine: str = "compiled",
     ) -> RunOutcome:
         """Convenience: compile, build, run, validate, aggregate."""
-        rt = self.make_runtime(config, system, collect_mem_events)
+        rt = self.make_runtime(config, system, collect_mem_events, engine=engine)
         state = self.build(rt, scale)
         reports = self.run(rt, state, on_cpu=on_cpu)
         if validate:
