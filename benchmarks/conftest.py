@@ -8,18 +8,45 @@ grows steeply (the simulator interprets every work-item).
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Set ``REPRO_PROFILE_DIR=<dir>`` to additionally emit one observability
+profile document per workload (``<dir>/<workload>.profile.json``, schema
+``repro.obs.profile/v1``) at the end of the session.  Profiling runs the
+workloads separately under an observer, so the benchmark timings
+themselves stay observability-free.
 """
 
+import json
 import os
 
 import pytest
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+PROFILE_DIR = os.environ.get("REPRO_PROFILE_DIR", "")
 
 
 @pytest.fixture(scope="session")
 def scale() -> float:
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def emit_profiles():
+    """When ``REPRO_PROFILE_DIR`` is set, write per-workload profile
+    documents after the benchmark session (no-op otherwise)."""
+    yield
+    if not PROFILE_DIR:
+        return
+    from repro.eval.runner import WORKLOAD_ORDER
+    from repro.obs import profile_workload, validate_profile
+
+    os.makedirs(PROFILE_DIR, exist_ok=True)
+    for name in WORKLOAD_ORDER:
+        doc = profile_workload(name, scale=BENCH_SCALE)
+        validate_profile(doc)
+        path = os.path.join(PROFILE_DIR, f"{name}.profile.json")
+        with open(path, "w") as handle:
+            json.dump(doc, handle, indent=2)
 
 
 def run_once(benchmark, fn):

@@ -5,11 +5,17 @@ Usage::
     python -m repro compile FILE.cpp [--config GPU|GPU+PTROPT|GPU+L3OPT|GPU+ALL]
                                       [--emit ir|opencl|stats|kernels]
     python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
+    python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference]
+                                      [--system ultrabook|desktop] [--on-cpu]
+                                      [--format json|csv] [--output FILE]
 
 ``compile`` parses and compiles a MiniC++ translation unit and prints the
 requested artifact for every heterogeneous body class found.  ``run``
 additionally executes a kernel over a zero-initialized body (useful for
-smoke-testing kernels whose body needs no host setup).
+smoke-testing kernels whose body needs no host setup).  ``profile`` runs
+one of the nine registered evaluation workloads under the observability
+layer and emits its per-kernel profile document (JSON by default; see
+``docs/OBSERVABILITY.md`` for the schema).
 """
 
 from __future__ import annotations
@@ -51,7 +57,27 @@ def main(argv=None) -> int:
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
     )
 
+    profile_parser = sub.add_parser(
+        "profile", help="run a registered workload under the observability layer"
+    )
+    profile_parser.add_argument("workload", help="workload name, e.g. bfs")
+    profile_parser.add_argument("--scale", type=float, default=1.0)
+    profile_parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default="compiled"
+    )
+    profile_parser.add_argument(
+        "--system", choices=["ultrabook", "desktop"], default="ultrabook"
+    )
+    profile_parser.add_argument("--on-cpu", action="store_true")
+    profile_parser.add_argument("--no-validate", action="store_true")
+    profile_parser.add_argument("--format", choices=["json", "csv"], default="json")
+    profile_parser.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        return _profile(args)
     try:
         with open(args.file) as handle:
             source = handle.read()
@@ -117,6 +143,52 @@ def main(argv=None) -> int:
         f"{args.body}: device={report.device} n={args.n} "
         f"time={report.seconds:.3e}s energy={report.energy_joules:.3e}J"
     )
+    return 0
+
+
+def _profile(args) -> int:
+    import json
+
+    from .obs import (
+        ProfileSchemaError,
+        profile_to_csv,
+        profile_workload,
+        validate_profile,
+    )
+
+    system = ultrabook() if args.system == "ultrabook" else desktop()
+    try:
+        doc = profile_workload(
+            args.workload,
+            scale=args.scale,
+            system=system,
+            engine=args.engine,
+            on_cpu=args.on_cpu,
+            validate=not args.no_validate,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    try:
+        validate_profile(doc)
+    except ProfileSchemaError as exc:
+        print(f"error: emitted profile failed validation: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "csv":
+        rendered = profile_to_csv(doc)
+    else:
+        rendered = json.dumps(doc, indent=2, sort_keys=False) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        totals = doc["totals"]
+        print(
+            f"{doc['meta']['workload']}: {totals['constructs']} constructs, "
+            f"{totals['seconds']:.3e}s simulated "
+            f"({totals['attributed_fraction']:.1%} attributed) -> {args.output}"
+        )
+    else:
+        sys.stdout.write(rendered)
     return 0
 
 

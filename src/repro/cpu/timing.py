@@ -30,6 +30,7 @@ def time_cpu_execution(
     device: CpuDevice,
     traces: list[ExecTrace],
     llc: CacheModel | None = None,
+    counters=None,
 ) -> DeviceReport:
     llc = llc or CacheModel(
         device.llc_size_bytes, device.llc_line_bytes, device.llc_assoc
@@ -96,6 +97,15 @@ def time_cpu_execution(
         + llc_misses * device.energy_per_dram_access
         + device.idle_power_watts * seconds
     )
+
+    if counters is not None:
+        # repro.obs.CounterRegistry; publish the model's event totals so
+        # profiles carry the cache/branch breakdown.
+        counters.add("cpu.l1.hits", l1_hits)
+        counters.add("cpu.llc.hits", llc_hits)
+        counters.add("cpu.llc.misses", llc_misses)
+        counters.add("cpu.branches", branches)
+        counters.add("cpu.mispredicts", mispredicts)
 
     return DeviceReport(
         device=device.name,

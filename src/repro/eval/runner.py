@@ -62,10 +62,15 @@ def measure_workload(
     scale: float = 1.0,
     validate: bool = True,
     engine: str = "compiled",
+    observer=None,
 ) -> Measurement:
+    """Measure one workload.  ``observer`` (a ``repro.obs.Observer``)
+    opts into span/counter/profile collection for every run the
+    measurement performs; observed calls bypass the in-process cache so
+    the observer always sees a complete execution."""
     key = (workload_cls.__name__, system.name, round(scale, 4), engine)
     cached = _CACHE.get(key)
-    if cached is not None:
+    if cached is not None and observer is None:
         return cached
 
     workload = workload_cls()
@@ -78,6 +83,7 @@ def measure_workload(
             scale=scale,
             validate=validate,
             engine=engine,
+            observer=observer,
         )
         measurement = Measurement(
             workload=workload_cls.name,
@@ -93,6 +99,7 @@ def measure_workload(
                 scale=scale,
                 validate=validate,
                 engine=engine,
+                observer=observer,
             )
             measurement.gpu_seconds[config.label] = outcome.seconds
             measurement.gpu_energy[config.label] = outcome.energy_joules

@@ -119,15 +119,22 @@ class PrivateMemoryPool:
     were all promoted by ``mem2reg`` never touch the pool at all.
     """
 
-    __slots__ = ("size", "_free")
+    __slots__ = ("size", "_free", "counters")
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, counters=None):
         self.size = size
         self._free: list[bytearray] = []
+        # Optional repro.obs.CounterRegistry; publishes
+        # private_pool.reuse / private_pool.alloc when attached.
+        self.counters = counters
 
     def acquire(self) -> bytearray:
         if self._free:
+            if self.counters is not None:
+                self.counters.add("private_pool.reuse")
             return self._free.pop()
+        if self.counters is not None:
+            self.counters.add("private_pool.alloc")
         return bytearray(self.size)
 
     def release(self, buffer: bytearray, dirty: int = 0) -> None:

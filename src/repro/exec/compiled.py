@@ -314,11 +314,14 @@ class CodeCache:
     compile-once/launch-many property.
     """
 
-    def __init__(self, region):
+    def __init__(self, region, counters=None):
         self.region = region
         self._cache: dict[tuple, "CompiledFunction"] = {}
         self.compilations = 0
         self.hits = 0
+        # Optional repro.obs.CounterRegistry; mirrors the two totals above
+        # as code_cache.hits / code_cache.compilations when attached.
+        self.counters = counters
 
     def get(
         self, function: Function, device: str, collect_events: bool
@@ -327,8 +330,12 @@ class CodeCache:
         compiled = self._cache.get(key)
         if compiled is not None:
             self.hits += 1
+            if self.counters is not None:
+                self.counters.add("code_cache.hits")
             return compiled
         self.compilations += 1
+        if self.counters is not None:
+            self.counters.add("code_cache.compilations")
         compiled = CompiledFunction(function, device, collect_events, self)
         # Register before compiling the body so recursive (and mutually
         # recursive) calls resolve to the same object.
@@ -1646,6 +1653,7 @@ class CompiledEngine:
         allocator=None,
         code_cache: Optional[CodeCache] = None,
         private_pool: Optional[PrivateMemoryPool] = None,
+        counters=None,
     ):
         self.region = region
         self.device = device
@@ -1662,6 +1670,10 @@ class CompiledEngine:
             raise ValueError("code cache is bound to a different region")
         self.code_cache = code_cache
         self._pool = private_pool
+        # Optional repro.obs.CounterRegistry; counts one engine.invocations
+        # per top-level call_function (per-instruction totals come from the
+        # trace, which the runtime harvests per construct).
+        self.counters = counters
         self._steps = 0
         self._depth = 0
         self._mem_seq: dict[int, int] = {}
@@ -1708,6 +1720,9 @@ class CompiledEngine:
                 f"{function.name}: expected {len(function.args)} args, "
                 f"got {len(args)}"
             )
+        if self.counters is not None:
+            self.counters.add("engine.invocations")
+            self.counters.add(f"engine.invocations.{self.device}")
         compiled = self.code_cache.get(function, self.device, self.collect_mem_events)
         return compiled.invoke(self, list(args))
 

@@ -139,6 +139,7 @@ class Interpreter:
         symbols: Optional[dict[int, object]] = None,
         allocator=None,
         private_pool: Optional[PrivateMemoryPool] = None,
+        counters=None,
     ):
         self.region = region
         self.space = AddressSpace(region, device)
@@ -153,6 +154,10 @@ class Interpreter:
         self.symbols = symbols or {}
         # shared-heap allocator for host-side svm.malloc/svm.free
         self.allocator = allocator
+        # Optional repro.obs.CounterRegistry; counts one engine.invocations
+        # per top-level call_function (per-instruction totals come from the
+        # trace, which the runtime harvests per construct).
+        self.counters = counters
         self._steps = 0
         self._pool = private_pool
         self._priv_buf: Optional[bytearray] = None
@@ -168,6 +173,9 @@ class Interpreter:
                 f"{function.name}: expected {len(function.args)} args, "
                 f"got {len(args)}"
             )
+        if self.counters is not None:
+            self.counters.add("engine.invocations")
+            self.counters.add(f"engine.invocations.{self.device}")
         return self._run(function, args, depth=0)
 
     # -- private memory (alloca) ----------------------------------------------

@@ -48,6 +48,13 @@ class CacheModel:
             bucket.popitem(last=False)
         return False
 
+    def publish(self, counters, prefix: str) -> None:
+        """Fold the current hit/miss totals into an observability counter
+        registry under ``<prefix>.hits`` / ``<prefix>.misses``.  Kept out
+        of :meth:`access` so the hot path never pays for metrics."""
+        counters.add(f"{prefix}.hits", self.stats.hits)
+        counters.add(f"{prefix}.misses", self.stats.misses)
+
     def reset(self) -> None:
         for bucketet in self._sets:
             bucketet.clear()

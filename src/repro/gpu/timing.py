@@ -160,6 +160,7 @@ def time_gpu_kernel(
     kernel: Function,
     traces: list[ExecTrace],
     l3: CacheModel | None = None,
+    counters=None,
 ) -> DeviceReport:
     sizes = block_sizes(kernel)
     guarded = _guarded_blocks(kernel)
@@ -316,6 +317,16 @@ def time_gpu_kernel(
             wall_cycles *= min_seconds / seconds
             seconds = min_seconds
     energy = dynamic_energy + device.idle_power_watts * seconds
+
+    if counters is not None:
+        # repro.obs.CounterRegistry; publish the model's event totals so
+        # profiles carry the cache/coalescing/contention breakdown.
+        counters.add("gpu.l3.hits", l3_hits)
+        counters.add("gpu.l3.misses", l3_misses)
+        counters.add("gpu.mem_transactions", mem_transactions)
+        counters.add("gpu.contention_events", contention_events)
+        counters.add("gpu.issue_slots", total_issue)
+        counters.add("gpu.translations", total_translations)
 
     return DeviceReport(
         device=device.name,

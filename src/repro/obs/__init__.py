@@ -1,0 +1,49 @@
+"""Observability layer: phase spans, counter registry, per-kernel profiles.
+
+Attach an :class:`Observer` to see where simulated time goes::
+
+    from repro.obs import Observer
+    obs = Observer()
+    rt = ConcordRuntime(program, observer=obs)
+    ... run constructs ...
+    doc = build_profile(obs, meta={...})
+
+or, one call for a whole workload::
+
+    from repro.obs import profile_workload
+    doc = profile_workload("bfs", scale=0.1)
+
+``python -m repro profile <workload>`` renders the same document from the
+command line.  The contract (span/counter names, JSON schema) is
+documented in ``docs/OBSERVABILITY.md``; :func:`validate_profile` enforces
+it.  Everything is opt-in: without an observer, the runtime and engines
+run their original code paths untouched.
+"""
+
+from .core import CounterRegistry, Observer, Span
+from .profile import (
+    PHASES,
+    PROFILE_SCHEMA_VERSION,
+    ConstructProfile,
+    KernelProfile,
+    build_profile,
+    profile_to_csv,
+    profile_workload,
+)
+from .schema import PROFILE_SCHEMA, ProfileSchemaError, validate_profile
+
+__all__ = [
+    "CounterRegistry",
+    "ConstructProfile",
+    "KernelProfile",
+    "Observer",
+    "PHASES",
+    "PROFILE_SCHEMA",
+    "PROFILE_SCHEMA_VERSION",
+    "ProfileSchemaError",
+    "Span",
+    "build_profile",
+    "profile_to_csv",
+    "profile_workload",
+    "validate_profile",
+]

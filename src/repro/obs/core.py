@@ -1,0 +1,237 @@
+"""Observability core: hierarchical phase spans and a counter registry.
+
+The runtime, both execution engines, the timing models and the pass
+pipeline all emit into one :class:`Observer` when the caller attaches one
+(``ConcordRuntime(..., observer=...)``, ``compile_source(...,
+observer=...)``).  Everything here is strictly opt-in: every emission site
+guards on ``observer is not None`` (or on a ``counters is not None``
+registry reference), so a runtime built without an observer pays nothing —
+the tier-1 suite and ``bench_engine_throughput.py`` run the exact code
+paths they ran before this module existed.
+
+Three pieces:
+
+* :class:`Span` — one timed phase (compile, SVM-lower, JIT, launch,
+  per-work-group reduce, host join, ...) with wall-clock duration,
+  optional *simulated* seconds, free-form attributes and child spans.
+* :class:`CounterRegistry` — a flat name -> integer/float map with an
+  ``add`` hot path; the engines, cache models, private-memory pool and
+  code cache publish into it (instructions, flops, mem events
+  kept/dropped, cache hits/misses, pool reuse, code-cache hits).
+* :class:`Observer` — owns the span tree, the registry and the per-kernel
+  profiles; :meth:`Observer.record_launch` is how the runtime attributes
+  one parallel construct's simulated seconds to named phases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .profile import ConstructProfile, KernelProfile
+
+
+class CounterRegistry:
+    """Flat metric registry: ``name -> number``.
+
+    ``add`` is the only hot-path operation; everything else is for
+    reporting.  Counter names are dotted paths by convention
+    (``engine.instructions``, ``gpu.l3.hits``, ``private_pool.reuse``).
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(self):
+        self._counters: dict[str, float] = {}
+
+    def add(self, name: str, amount=1) -> None:
+        counters = self._counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def get(self, name: str, default=0):
+        return self._counters.get(name, default)
+
+    def __getitem__(self, name: str):
+        return self._counters.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def as_dict(self) -> dict:
+        """Sorted snapshot (stable for JSON output and comparisons)."""
+        return dict(sorted(self._counters.items()))
+
+    def merge(self, other: "CounterRegistry") -> None:
+        for name, value in other._counters.items():
+            self.add(name, value)
+
+    def clear(self) -> None:
+        self._counters.clear()
+
+
+@dataclass
+class Span:
+    """One phase of work, possibly nested inside another phase.
+
+    ``wall_seconds`` is host wall-clock time spent inside the span;
+    ``sim_seconds`` is simulated device time attributed to it (0.0 when
+    the span only brackets host work, e.g. compilation).
+    """
+
+    name: str
+    category: str = ""
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    def child(self, name: str, category: str = "") -> "Span":
+        span = Span(name=name, category=category)
+        self.children.append(span)
+        return span
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "category": self.category,
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def iter_all(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_all()
+
+
+class _SpanContext:
+    """Context manager pushed/popped by :meth:`Observer.span`."""
+
+    __slots__ = ("observer", "span", "_start")
+
+    def __init__(self, observer: "Observer", span: Span):
+        self.observer = observer
+        self.span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self.observer._stack.append(self.span)
+        self._start = self.observer._clock()
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.wall_seconds += self.observer._clock() - self._start
+        stack = self.observer._stack
+        if stack and stack[-1] is self.span:
+            stack.pop()
+        return False
+
+
+class Observer:
+    """Collects spans, counters and per-kernel profiles for one session.
+
+    One observer may watch a whole pipeline: compilation
+    (``compile_source``), any number of runtimes, and the evaluation
+    harness.  It is deliberately not thread-safe — the simulator is
+    single-threaded.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self.counters = CounterRegistry()
+        self.root = Span(name="session", category="session")
+        self._stack: list[Span] = [self.root]
+        #: per-construct attribution records, in execution order
+        self.constructs: list[ConstructProfile] = []
+        #: kernel name -> aggregated profile
+        self.kernels: dict[str, KernelProfile] = {}
+        #: compiler pass statistics (name, runs, changed, seconds)
+        self.pass_stats: list[dict] = []
+
+    # -- spans -----------------------------------------------------------
+
+    @property
+    def current_span(self) -> Span:
+        return self._stack[-1]
+
+    def span(self, name: str, category: str = "", **attrs) -> _SpanContext:
+        """Open a child span of the current span; use as a context
+        manager.  ``attrs`` are attached verbatim."""
+        span = self.current_span.child(name, category)
+        if attrs:
+            span.attrs.update(attrs)
+        return _SpanContext(self, span)
+
+    def spans(self, category: Optional[str] = None) -> list[Span]:
+        """All spans (depth-first), optionally filtered by category."""
+        found = [s for s in self.root.iter_all() if s is not self.root]
+        if category is None:
+            return found
+        return [s for s in found if s.category == category]
+
+    # -- launch / kernel attribution -------------------------------------
+
+    def record_launch(
+        self,
+        kernel: str,
+        construct: str,
+        device: str,
+        n: int,
+        seconds: float,
+        energy_joules: float,
+        phases: dict,
+        counters: Optional[dict] = None,
+    ) -> ConstructProfile:
+        """Attribute one parallel construct's simulated time to phases.
+
+        ``phases`` maps phase name -> simulated seconds; ``seconds`` is
+        the construct's total simulated time (phases should sum to it —
+        the profile records the attributed fraction so gaps are visible
+        rather than silent).
+        """
+        record = ConstructProfile(
+            index=len(self.constructs),
+            kernel=kernel,
+            construct=construct,
+            device=device,
+            n=n,
+            seconds=seconds,
+            energy_joules=energy_joules,
+            phases=dict(phases),
+            counters=dict(counters or {}),
+        )
+        self.constructs.append(record)
+        profile = self.kernels.get(kernel)
+        if profile is None:
+            profile = self.kernels[kernel] = KernelProfile(
+                kernel=kernel, construct=construct
+            )
+        profile.absorb(record)
+        return record
+
+    # -- pass pipeline ----------------------------------------------------
+
+    def record_pass_stats(self, stats) -> None:
+        """Fold a :class:`~repro.passes.pipeline.PassManager`'s stats in
+        (``stats`` is an iterable of objects with name/runs/changed/
+        seconds attributes)."""
+        for stat in stats:
+            self.pass_stats.append(
+                {
+                    "name": stat.name,
+                    "runs": stat.runs,
+                    "changed": stat.changed,
+                    "seconds": stat.seconds,
+                }
+            )
+            self.counters.add(f"passes.{stat.name}.runs", stat.runs)
+            self.counters.add(f"passes.{stat.name}.changed", stat.changed)

@@ -169,9 +169,15 @@ def kernel_pipeline(
     kernel: Function,
     config: OptConfig,
     manager: Optional[PassManager] = None,
+    observer=None,
 ) -> None:
     """Device-side lowering for one kernel function (already past the
-    standard pipeline)."""
+    standard pipeline).
+
+    ``observer`` (a ``repro.obs.Observer``) additionally brackets the
+    SVM-lowering step in a dedicated phase span; pass-level statistics are
+    always available through ``manager.stats`` regardless.
+    """
     from .constfold import constant_fold
     from .cse import common_subexpression_elimination
     from .dce import dead_code_elimination
@@ -204,7 +210,11 @@ def kernel_pipeline(
         )
     if config.l3opt:
         manager.run(kernel, [reduce_cacheline_contention])
-    manager.run(kernel, [lower_svm_pointers])
+    if observer is not None:
+        with observer.span("svm_lower", "phase", kernel=kernel.name):
+            manager.run(kernel, [lower_svm_pointers])
+    else:
+        manager.run(kernel, [lower_svm_pointers])
     if config.ptropt:
         manager.run(kernel, [optimize_pointer_translations])
         manager.run(

@@ -22,6 +22,7 @@
 from __future__ import annotations
 
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -31,7 +32,7 @@ from ..ir.intrinsics import GPU_GLOBAL_ID
 from ..ir.types import I32, PointerType, VOID, ptr
 from ..minicpp import Sema, UnitLowerer, check_kernel, parse
 from ..minicpp.sema import ClassInfo
-from ..passes import OptConfig, kernel_pipeline, standard_pipeline
+from ..passes import OptConfig, PassManager, kernel_pipeline, standard_pipeline
 
 
 class ConcordWarning(UserWarning):
@@ -85,95 +86,121 @@ def compile_source(
     source: str,
     config: Optional[OptConfig] = None,
     module_name: str = "concord",
+    observer=None,
 ) -> CompiledProgram:
+    """Compile MiniC++ source into a :class:`CompiledProgram`.
+
+    ``observer`` (a ``repro.obs.Observer``) is optional: when attached, the
+    driver brackets the frontend, the standard pipeline and the per-kernel
+    device lowering (including the SVM-lowering step) in phase spans and
+    records pass statistics into the observer.  Without one, compilation
+    runs the exact pre-observability code paths.
+    """
     config = config or OptConfig.gpu_all()
-    unit = parse(source)
-    sema = Sema(unit)
-    lowerer = UnitLowerer(sema, ir.Module(module_name))
-    module = lowerer.lower_unit()
 
-    kernels: dict[str, KernelInfo] = {}
-    for info in list(sema.classes.values()):
-        body_ops = [
-            m
-            for m in info.methods.get("operator()", ())
-            if len(m.decl.params) == 1
-        ]
-        if not body_ops or body_ops[0].ir_function is None:
-            continue
-        operator = body_ops[0]
-        joins = [
-            m for m in info.methods.get("join", ()) if len(m.decl.params) == 1
-        ]
-        construct = "reduce" if joins else "for"
-        kernel = _make_kernel_wrapper(module, info, operator.ir_function)
-        join_kernel = None
-        if joins and joins[0].ir_function is not None:
-            join_kernel = _make_join_wrapper(module, info, joins[0].ir_function)
-        kernels[info.name] = KernelInfo(
-            body_class=info,
-            kernel=kernel,
-            gpu_kernel=kernel,  # replaced below after device lowering
-            join_kernel=join_kernel,
-            construct=construct,
-        )
+    def span(name, **attrs):
+        if observer is None:
+            return nullcontext()
+        return observer.span(name, "compile", **attrs)
 
-    # Standard pipeline over every function with a body.
-    for function in list(module.functions.values()):
-        if function.blocks:
-            standard_pipeline(module, function, config)
+    manager = PassManager(verify=config.verify) if observer is not None else None
+    with span("compile", module=module_name):
+        with span("frontend"):
+            unit = parse(source)
+            sema = Sema(unit)
+            lowerer = UnitLowerer(sema, ir.Module(module_name))
+            module = lowerer.lower_unit()
 
-    # Device lowering per kernel (on a clone, so the CPU path keeps
-    # untranslated IR — the CPU dereferences CPU pointers natively).
-    from .clone import clone_function
-
-    for kinfo in kernels.values():
-        kinfo.violations = check_kernel(module, kinfo.kernel)
-        if config.device_alloc:
-            # Extension (paper future work): device-side allocation is
-            # supported through the bump allocator, so it is no longer a
-            # restriction.
-            kinfo.violations = [
-                v for v in kinfo.violations if v.kind != "gpu-allocation"
+        kernels: dict[str, KernelInfo] = {}
+        for info in list(sema.classes.values()):
+            body_ops = [
+                m
+                for m in info.methods.get("operator()", ())
+                if len(m.decl.params) == 1
             ]
-        if kinfo.violations:
-            kinfo.cpu_only = True
-            details = "; ".join(str(v) for v in kinfo.violations)
-            warnings.warn(
-                f"Concord: {kinfo.body_class.name} cannot run on the GPU "
-                f"({details}); falling back to CPU execution",
-                ConcordWarning,
-                stacklevel=2,
+            if not body_ops or body_ops[0].ir_function is None:
+                continue
+            operator = body_ops[0]
+            joins = [
+                m for m in info.methods.get("join", ()) if len(m.decl.params) == 1
+            ]
+            construct = "reduce" if joins else "for"
+            kernel = _make_kernel_wrapper(module, info, operator.ir_function)
+            join_kernel = None
+            if joins and joins[0].ir_function is not None:
+                join_kernel = _make_join_wrapper(module, info, joins[0].ir_function)
+            kernels[info.name] = KernelInfo(
+                body_class=info,
+                kernel=kernel,
+                gpu_kernel=kernel,  # replaced below after device lowering
+                join_kernel=join_kernel,
+                construct=construct,
             )
-            continue
-        gpu_kernel = clone_function(
-            module, kinfo.kernel, kinfo.kernel.name + ".gpu"
-        )
-        kernel_pipeline(module, gpu_kernel, config)
-        kinfo.gpu_kernel = gpu_kernel
-        from ..codegen.opencl import emit_kernel_opencl
 
-        kinfo.opencl_source = emit_kernel_opencl(module, gpu_kernel)
-        if kinfo.join_kernel is not None:
-            gpu_join = clone_function(
-                module, kinfo.join_kernel, kinfo.join_kernel.name + ".gpu"
-            )
-            kernel_pipeline(module, gpu_join, config)
-            kinfo.gpu_join_kernel = gpu_join
-            from ..codegen.opencl import emit_reduce_wrapper_opencl
-            from .runtime import REDUCTION_GROUP_SIZE
+        # Standard pipeline over every function with a body.
+        with span("standard_pipeline"):
+            for function in list(module.functions.values()):
+                if function.blocks:
+                    standard_pipeline(module, function, config, manager=manager)
 
-            kinfo.reduce_wrapper_source = emit_reduce_wrapper_opencl(
-                module,
-                kinfo.body_class.struct_type.name,
-                kinfo.body_class.struct_type.size(),
-                gpu_kernel,
-                gpu_join,
-                group_size=REDUCTION_GROUP_SIZE,
-            )
-        else:
-            kinfo.gpu_join_kernel = None
+        # Device lowering per kernel (on a clone, so the CPU path keeps
+        # untranslated IR — the CPU dereferences CPU pointers natively).
+        from .clone import clone_function
 
+        for kinfo in kernels.values():
+            with span("device_lower", kernel=kinfo.kernel.name):
+                kinfo.violations = check_kernel(module, kinfo.kernel)
+                if config.device_alloc:
+                    # Extension (paper future work): device-side allocation
+                    # is supported through the bump allocator, so it is no
+                    # longer a restriction.
+                    kinfo.violations = [
+                        v for v in kinfo.violations if v.kind != "gpu-allocation"
+                    ]
+                if kinfo.violations:
+                    kinfo.cpu_only = True
+                    details = "; ".join(str(v) for v in kinfo.violations)
+                    warnings.warn(
+                        f"Concord: {kinfo.body_class.name} cannot run on the GPU "
+                        f"({details}); falling back to CPU execution",
+                        ConcordWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                gpu_kernel = clone_function(
+                    module, kinfo.kernel, kinfo.kernel.name + ".gpu"
+                )
+                kernel_pipeline(
+                    module, gpu_kernel, config, manager=manager, observer=observer
+                )
+                kinfo.gpu_kernel = gpu_kernel
+                from ..codegen.opencl import emit_kernel_opencl
+
+                kinfo.opencl_source = emit_kernel_opencl(module, gpu_kernel)
+                if kinfo.join_kernel is not None:
+                    gpu_join = clone_function(
+                        module, kinfo.join_kernel, kinfo.join_kernel.name + ".gpu"
+                    )
+                    kernel_pipeline(
+                        module, gpu_join, config, manager=manager, observer=observer
+                    )
+                    kinfo.gpu_join_kernel = gpu_join
+                    from ..codegen.opencl import emit_reduce_wrapper_opencl
+                    from .runtime import REDUCTION_GROUP_SIZE
+
+                    kinfo.reduce_wrapper_source = emit_reduce_wrapper_opencl(
+                        module,
+                        kinfo.body_class.struct_type.name,
+                        kinfo.body_class.struct_type.size(),
+                        gpu_kernel,
+                        gpu_join,
+                        group_size=REDUCTION_GROUP_SIZE,
+                    )
+                else:
+                    kinfo.gpu_join_kernel = None
+
+    if observer is not None:
+        observer.record_pass_stats(manager.stats.values())
     return CompiledProgram(
         module=module, sema=sema, kernels=kernels, config=config, source=source
     )

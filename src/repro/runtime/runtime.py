@@ -23,7 +23,9 @@ original ``join``.
 
 from __future__ import annotations
 
+import math
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -93,6 +95,7 @@ class ConcordRuntime:
         mem_event_cap: int = DEFAULT_MEM_EVENT_CAP,
         engine: str = "compiled",
         keep_traces: bool = False,
+        observer=None,
     ):
         if engine not in ("compiled", "reference"):
             raise ValueError(
@@ -108,12 +111,17 @@ class ConcordRuntime:
         # traces enforce it; see repro.exec.buffers.DEFAULT_MEM_EVENT_CAP).
         self.mem_event_cap = mem_event_cap
         self.engine = engine
+        # Optional observability sink (repro.obs.Observer).  Every use is
+        # guarded on ``is not None`` so the default configuration pays
+        # nothing — spans, counters and profiles exist only on request.
+        self.obs = observer
+        counters = observer.counters if observer is not None else None
         # Threaded-code cache: each kernel compiles at most once per
         # runtime, every launch replays the cached closures (the
         # simulator-level analogue of the gpu_function_t JIT cache below).
-        self.code_cache = CodeCache(self.region)
+        self.code_cache = CodeCache(self.region, counters=counters)
         self.private_pool = PrivateMemoryPool(
-            Interpreter.PRIVATE_WINDOW + 0x1000
+            Interpreter.PRIVATE_WINDOW + 0x1000, counters=counters
         )
         # Debug/verification hook — when keep_traces is set, every per-construct
         # trace is retained here in execution order (the equivalence suite
@@ -241,6 +249,41 @@ class ConcordRuntime:
             collect_mem_events=False,
         )
 
+    # -- observability helpers ---------------------------------------------
+
+    def _span(self, name: str, category: str = "", **attrs):
+        """A phase span when an observer is attached, otherwise a no-op
+        context (the ``as`` target is then ``None``)."""
+        if self.obs is None:
+            return nullcontext()
+        return self.obs.span(name, category, **attrs)
+
+    def _harvest_traces(self, traces) -> dict:
+        """Fold per-trace execution totals into the observer's counter
+        registry; returns the construct-level totals for profile
+        attachment.  Only called when an observer is attached."""
+        totals = {
+            "engine.instructions": 0,
+            "engine.flops": 0,
+            "engine.int_ops": 0,
+            "engine.calls": 0,
+            "engine.translations": 0,
+            "mem_events.kept": 0,
+            "mem_events.dropped": 0,
+        }
+        for trace in traces:
+            totals["engine.instructions"] += trace.instructions
+            totals["engine.flops"] += trace.flops
+            totals["engine.int_ops"] += trace.int_ops
+            totals["engine.calls"] += trace.calls
+            totals["engine.translations"] += trace.translations
+            totals["mem_events.kept"] += len(trace.mem_events)
+            totals["mem_events.dropped"] += trace.mem_events_dropped
+        counters = self.obs.counters
+        for name, value in totals.items():
+            counters.add(name, value)
+        return totals
+
     # -- execution-engine factory ------------------------------------------
 
     def _new_trace(self, cap: Optional[int] = None) -> ExecTrace:
@@ -268,6 +311,7 @@ class ConcordRuntime:
         engine per work-item stays cheap (compile once, launch many)."""
         if collect_mem_events is None:
             collect_mem_events = self.collect_mem_events
+        counters = self.obs.counters if self.obs is not None else None
         if self.engine == "compiled":
             return CompiledEngine(
                 self.region,
@@ -280,6 +324,7 @@ class ConcordRuntime:
                 allocator=allocator,
                 code_cache=self.code_cache,
                 private_pool=self.private_pool,
+                counters=counters,
             )
         return Interpreter(
             self.region,
@@ -291,6 +336,7 @@ class ConcordRuntime:
             num_cores=num_cores,
             allocator=allocator,
             private_pool=self.private_pool,
+            counters=counters,
         )
 
     # -- parallel constructs --------------------------------------------------------
@@ -330,59 +376,107 @@ class ConcordRuntime:
     # -- CPU execution ---------------------------------------------------------------
 
     def _run_cpu(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        trace = self._new_trace()
-        interp = self._make_engine(
-            device="cpu",
-            trace=trace,
-            num_cores=self.system.cpu.cores,
-            allocator=self.allocator,
-        )
-        kernel = kinfo.kernel
-        addr = address_of(body)
-        for index in range(n):
-            interp.global_id = index
-            interp.call_function(kernel, [addr, index])
-        interp.release_private_memory()
-        if self.keep_traces:
-            self.trace_log.append(trace)
-        report = time_cpu_execution(self.system.cpu, [trace])
+        obs = self.obs
+        kernel_name = kinfo.kernel.name
+        with self._span(
+            f"construct:{kernel_name}", "construct", device="cpu", n=n
+        ) as cspan:
+            with self._span("launch", "phase") as launch_span:
+                trace = self._new_trace()
+                interp = self._make_engine(
+                    device="cpu",
+                    trace=trace,
+                    num_cores=self.system.cpu.cores,
+                    allocator=self.allocator,
+                )
+                kernel = kinfo.kernel
+                addr = address_of(body)
+                for index in range(n):
+                    interp.global_id = index
+                    interp.call_function(kernel, [addr, index])
+                interp.release_private_memory()
+                if self.keep_traces:
+                    self.trace_log.append(trace)
+                report = time_cpu_execution(
+                    self.system.cpu,
+                    [trace],
+                    counters=obs.counters if obs is not None else None,
+                )
         self.total_cpu_report += report
+        if obs is not None:
+            launch_span.sim_seconds = report.seconds
+            cspan.sim_seconds = report.seconds
+            obs.record_launch(
+                kernel_name,
+                "for",
+                "cpu",
+                n,
+                seconds=report.seconds,
+                energy_joules=report.energy_joules,
+                phases={"launch": report.seconds},
+                counters=self._harvest_traces([trace]),
+            )
         return ExecutionReport(device="cpu", n=n, report=report)
 
     def _run_cpu_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
         # TBB-style: each worker runs iterations into (a copy of) the body
         # and joins; we model one body copy per core joined at the end.
-        struct = kinfo.body_class.struct_type
-        size = struct.size()
-        addr = address_of(body)
-        cores = self.system.cpu.cores
-        trace = self._new_trace()
-        interp = self._make_engine(
-            device="cpu",
-            trace=trace,
-            num_cores=cores,
-            allocator=self.allocator,
-        )
-        copies = []
-        payload = self.region.read_bytes(addr, size)
-        for _ in range(min(cores, max(1, n))):
-            copy_addr = self.allocator.malloc(size, struct.align())
-            self.region.write_bytes(copy_addr, payload)
-            copies.append(copy_addr)
-        for index in range(n):
-            interp.global_id = index
-            interp.call_function(kinfo.kernel, [copies[index % len(copies)], index])
-        join = kinfo.join_kernel
-        for copy_addr in copies:
-            if join is not None:
-                interp.call_function(join, [addr, copy_addr])
-        for copy_addr in copies:
-            self.allocator.free(copy_addr)
-        interp.release_private_memory()
-        if self.keep_traces:
-            self.trace_log.append(trace)
-        report = time_cpu_execution(self.system.cpu, [trace])
+        obs = self.obs
+        kernel_name = kinfo.kernel.name
+        with self._span(
+            f"construct:{kernel_name}", "construct", device="cpu", n=n
+        ) as cspan:
+            with self._span("launch", "phase") as launch_span:
+                struct = kinfo.body_class.struct_type
+                size = struct.size()
+                addr = address_of(body)
+                cores = self.system.cpu.cores
+                trace = self._new_trace()
+                interp = self._make_engine(
+                    device="cpu",
+                    trace=trace,
+                    num_cores=cores,
+                    allocator=self.allocator,
+                )
+                copies = []
+                payload = self.region.read_bytes(addr, size)
+                for _ in range(min(cores, max(1, n))):
+                    copy_addr = self.allocator.malloc(size, struct.align())
+                    self.region.write_bytes(copy_addr, payload)
+                    copies.append(copy_addr)
+                for index in range(n):
+                    interp.global_id = index
+                    interp.call_function(
+                        kinfo.kernel, [copies[index % len(copies)], index]
+                    )
+                join = kinfo.join_kernel
+                for copy_addr in copies:
+                    if join is not None:
+                        interp.call_function(join, [addr, copy_addr])
+                for copy_addr in copies:
+                    self.allocator.free(copy_addr)
+                interp.release_private_memory()
+                if self.keep_traces:
+                    self.trace_log.append(trace)
+                report = time_cpu_execution(
+                    self.system.cpu,
+                    [trace],
+                    counters=obs.counters if obs is not None else None,
+                )
         self.total_cpu_report += report
+        if obs is not None:
+            launch_span.sim_seconds = report.seconds
+            cspan.sim_seconds = report.seconds
+            obs.record_launch(
+                kernel_name,
+                "reduce",
+                "cpu",
+                n,
+                seconds=report.seconds,
+                energy_joules=report.energy_joules,
+                phases={"launch": report.seconds},
+                counters=self._harvest_traces([trace]),
+            )
         return ExecutionReport(device="cpu", n=n, report=report)
 
     # -- GPU offload -------------------------------------------------------------------
@@ -414,11 +508,21 @@ class ConcordRuntime:
 
     def _gpu_traces(self, kernel, n: int, args_of) -> list[ExecTrace]:
         traces = []
-        cap = max(1000, self.mem_event_cap // max(1, n))
+        # Per-work-item cap with a *global* budget: the per-item floor of
+        # 1000 events keeps short lanes representative, but once the
+        # work-items collectively reach ``mem_event_cap`` the remaining
+        # lanes record nothing — without the running ``kept`` total, n
+        # floor-capped lanes would retain up to n * 1000 events, blowing
+        # the budget by orders of magnitude for large n.  Overflow is
+        # visible: each trace counts its drops in ``mem_events_dropped``.
+        budget = self.mem_event_cap
+        per_item = max(1000, budget // max(1, n))
+        kept = 0
         allocator = (
             self.device_heap() if self.program.config.device_alloc else None
         )
         for index in range(n):
+            cap = min(per_item, max(0, budget - kept))
             trace = self._new_trace(cap)
             interp = self._make_engine(
                 device="gpu",
@@ -429,86 +533,184 @@ class ConcordRuntime:
             )
             interp.call_function(kernel, args_of(index))
             interp.release_private_memory()
+            kept += len(trace.mem_events)
             traces.append(trace)
         if self.keep_traces:
             self.trace_log.extend(traces)
         return traces
 
     def _offload(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        jit_seconds = self._jit(kinfo)
-        # The kernel receives the body pointer in CPU representation (the
-        # paper's ``CpuPtr cpu_ptr`` argument) and translates it itself.
-        addr = address_of(body)
-        traces = self._gpu_traces(
-            kinfo.gpu_kernel, n, lambda index: [addr, index]
-        )
-        report = time_gpu_kernel(self.system.gpu, kinfo.gpu_kernel, traces)
+        obs = self.obs
+        kernel_name = kinfo.gpu_kernel.name
+        with self._span(
+            f"construct:{kernel_name}", "construct", device="gpu", n=n
+        ) as cspan:
+            with self._span("jit", "phase") as jit_span:
+                jit_seconds = self._jit(kinfo)
+            # The kernel receives the body pointer in CPU representation (the
+            # paper's ``CpuPtr cpu_ptr`` argument) and translates it itself.
+            addr = address_of(body)
+            with self._span("launch", "phase") as launch_span:
+                traces = self._gpu_traces(
+                    kinfo.gpu_kernel, n, lambda index: [addr, index]
+                )
+                report = time_gpu_kernel(
+                    self.system.gpu,
+                    kinfo.gpu_kernel,
+                    traces,
+                    counters=obs.counters if obs is not None else None,
+                )
         self.total_gpu_report += report
+        if obs is not None:
+            jit_span.sim_seconds = jit_seconds
+            launch_span.sim_seconds = report.seconds
+            cspan.sim_seconds = report.seconds + jit_seconds
+            obs.record_launch(
+                kernel_name,
+                "for",
+                "gpu",
+                n,
+                seconds=report.seconds + jit_seconds,
+                energy_joules=report.energy_joules,
+                phases={"jit": jit_seconds, "launch": report.seconds},
+                counters=self._harvest_traces(traces),
+            )
         return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
 
     def _offload_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
         """Hierarchical reduction (section 3.3): private body copies, local
         memory tree reduction per work-group, sequential join of group
         results."""
-        jit_seconds = self._jit(kinfo)
-        struct = kinfo.body_class.struct_type
-        size = struct.size()
-        addr = address_of(body)
-        payload = self.region.read_bytes(addr, size)
-        group = REDUCTION_GROUP_SIZE
-        num_groups = (n + group - 1) // group
+        obs = self.obs
+        kernel_name = kinfo.gpu_kernel.name
+        tree_span = host_span = None
+        local_seconds = 0.0
+        host_join_seconds = 0.0
+        host_trace = None
+        with self._span(
+            f"construct:{kernel_name}", "construct", device="gpu", n=n
+        ) as cspan:
+            with self._span("jit", "phase") as jit_span:
+                jit_seconds = self._jit(kinfo)
+            struct = kinfo.body_class.struct_type
+            size = struct.size()
+            addr = address_of(body)
+            payload = self.region.read_bytes(addr, size)
+            group = REDUCTION_GROUP_SIZE
+            num_groups = (n + group - 1) // group
 
-        # Private copies live in the shared region for the simulation; on
-        # hardware they sit in private/local memory, so their accesses are
-        # excluded from the global-memory trace below via fresh offsets.
-        copies = [self.allocator.malloc(size, struct.align()) for _ in range(n)]
-        for copy_addr in copies:
-            self.region.write_bytes(copy_addr, payload)
+            # Private copies live in the shared region for the simulation; on
+            # hardware they sit in private/local memory, so their accesses are
+            # excluded from the global-memory trace below via fresh offsets.
+            copies = [self.allocator.malloc(size, struct.align()) for _ in range(n)]
+            for copy_addr in copies:
+                self.region.write_bytes(copy_addr, payload)
 
-        traces = self._gpu_traces(
-            kinfo.gpu_kernel,
-            n,
-            lambda index: [copies[index], index],
-        )
-        report = time_gpu_kernel(self.system.gpu, kinfo.gpu_kernel, traces)
+            with self._span("launch", "phase") as launch_span:
+                traces = self._gpu_traces(
+                    kinfo.gpu_kernel,
+                    n,
+                    lambda index: [copies[index], index],
+                )
+                report = time_gpu_kernel(
+                    self.system.gpu,
+                    kinfo.gpu_kernel,
+                    traces,
+                    counters=obs.counters if obs is not None else None,
+                )
+            launch_seconds = report.seconds
 
-        # Tree reduction within each work-group (local memory: charge a
-        # small per-level cost rather than global traffic).
-        join_gpu = getattr(kinfo, "gpu_join_kernel", None) or kinfo.join_kernel
-        join_interp = self._make_engine(
-            device="gpu" if join_gpu is not None and join_gpu.attributes.get("svm_lowered") else "cpu",
-            collect_mem_events=False,
-        )
-        join_fn = join_gpu if join_gpu is not None else None
-        for group_index in range(num_groups):
-            base = group_index * group
-            members = copies[base : base + group]
-            stride = 1
-            while stride < len(members):
-                for offset in range(0, len(members) - stride, stride * 2):
-                    into = members[offset]
-                    source = members[offset + stride]
-                    join_interp.call_function(join_fn, [into, source])
-                stride *= 2
-        join_interp.release_private_memory()
-        # local-memory reduction cost: log2(group) levels of cheap traffic
-        import math
+            # Tree reduction within each work-group (local memory: charge a
+            # small per-level cost rather than global traffic).  The GPU
+            # join form falls back to the host join when SVM lowering was
+            # skipped; when *neither* form exists, combining the private
+            # copies is impossible — warn and leave the body unreduced
+            # instead of crashing mid-construct (section 3.3's sequential
+            # fallback contract: degrade, don't die).
+            join_fn = getattr(kinfo, "gpu_join_kernel", None) or kinfo.join_kernel
+            if join_fn is None:
+                warnings.warn(
+                    f"reduce body {kinfo.body_class.name} has no join "
+                    "kernel on any device; group results were left "
+                    "uncombined (sequential host-join fallback unavailable)",
+                    ConcordWarning,
+                    stacklevel=3,
+                )
+            else:
+                with self._span(
+                    "reduce_tree", "phase", groups=num_groups
+                ) as tree_span:
+                    join_interp = self._make_engine(
+                        device="gpu" if join_fn.attributes.get("svm_lowered") else "cpu",
+                        collect_mem_events=False,
+                    )
+                    for group_index in range(num_groups):
+                        base = group_index * group
+                        members = copies[base : base + group]
+                        stride = 1
+                        while stride < len(members):
+                            for offset in range(0, len(members) - stride, stride * 2):
+                                into = members[offset]
+                                source = members[offset + stride]
+                                join_interp.call_function(join_fn, [into, source])
+                            stride *= 2
+                    join_interp.release_private_memory()
+                # local-memory reduction cost: log2(group) levels of cheap traffic
+                levels = max(1, int(math.ceil(math.log2(group))))
+                local_cycles = num_groups * levels * 8.0 / self.system.gpu.num_eus
+                local_seconds = local_cycles / self.system.gpu.frequency_hz
+                report.cycles += local_cycles
+                report.seconds += local_seconds
 
-        levels = max(1, int(math.ceil(math.log2(group))))
-        local_cycles = num_groups * levels * 8.0 / self.system.gpu.num_eus
-        report.cycles += local_cycles
-        report.seconds += local_cycles / self.system.gpu.frequency_hz
-
-        # Sequential join of group leaders on the host (original join).
-        host = self._host_interpreter()
-        for group_index in range(num_groups):
-            leader = copies[group_index * group]
-            host.call_function(kinfo.join_kernel, [addr, leader])
-        host.release_private_memory()
-        for copy_addr in copies:
-            self.allocator.free(copy_addr)
+                # Sequential join of group leaders on the host (original
+                # join; the device form is a last-resort stand-in).  The
+                # host join's simulated cost is only measured for the
+                # profile — ExecutionReport keeps its historical meaning
+                # (device time + JIT).
+                host_fn = kinfo.join_kernel or join_fn
+                if obs is not None:
+                    host_trace = self._new_trace()
+                with self._span("host_join", "phase") as host_span:
+                    host = self._host_interpreter(trace=host_trace)
+                    for group_index in range(num_groups):
+                        leader = copies[group_index * group]
+                        host.call_function(host_fn, [addr, leader])
+                    host.release_private_memory()
+            for copy_addr in copies:
+                self.allocator.free(copy_addr)
 
         self.total_gpu_report += report
+        if obs is not None:
+            if host_trace is not None:
+                host_join_seconds = time_cpu_execution(
+                    self.system.cpu, [host_trace]
+                ).seconds
+            total_seconds = report.seconds + jit_seconds + host_join_seconds
+            jit_span.sim_seconds = jit_seconds
+            launch_span.sim_seconds = launch_seconds
+            if tree_span is not None:
+                tree_span.sim_seconds = local_seconds
+            if host_span is not None:
+                host_span.sim_seconds = host_join_seconds
+            cspan.sim_seconds = total_seconds
+            harvested = self._harvest_traces(
+                traces + ([host_trace] if host_trace is not None else [])
+            )
+            obs.record_launch(
+                kernel_name,
+                "reduce",
+                "gpu",
+                n,
+                seconds=total_seconds,
+                energy_joules=report.energy_joules,
+                phases={
+                    "jit": jit_seconds,
+                    "launch": launch_seconds,
+                    "reduce_tree": local_seconds,
+                    "host_join": host_join_seconds,
+                },
+                counters=harvested,
+            )
         return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
 
 

@@ -58,11 +58,17 @@ class Workload(abc.ABC):
     _program_cache: dict = {}
 
     @classmethod
-    def compile(cls, config: OptConfig) -> CompiledProgram:
+    def compile(cls, config: OptConfig, observer=None) -> CompiledProgram:
         key = (cls.__name__, config)
         cached = Workload._program_cache.get(key)
-        if cached is None:
-            cached = compile_source(cls.source, config, module_name=cls.name)
+        if cached is None or observer is not None:
+            # With an observer attached we always compile fresh so the
+            # compile/SVM-lower spans and pass statistics are recorded for
+            # this observation (the result is equivalent, so it may still
+            # refresh the cache).
+            cached = compile_source(
+                cls.source, config, module_name=cls.name, observer=observer
+            )
             Workload._program_cache[key] = cached
         return cached
 
@@ -74,8 +80,9 @@ class Workload(abc.ABC):
         collect_mem_events: bool = True,
         engine: str = "compiled",
         keep_traces: bool = False,
+        observer=None,
     ) -> ConcordRuntime:
-        program = cls.compile(config or OptConfig.gpu_all())
+        program = cls.compile(config or OptConfig.gpu_all(), observer=observer)
         return ConcordRuntime(
             program,
             system or ultrabook(),
@@ -83,6 +90,7 @@ class Workload(abc.ABC):
             collect_mem_events=collect_mem_events,
             engine=engine,
             keep_traces=keep_traces,
+            observer=observer,
         )
 
     @abc.abstractmethod
@@ -131,9 +139,12 @@ class Workload(abc.ABC):
         validate: bool = True,
         collect_mem_events: bool = True,
         engine: str = "compiled",
+        observer=None,
     ) -> RunOutcome:
         """Convenience: compile, build, run, validate, aggregate."""
-        rt = self.make_runtime(config, system, collect_mem_events, engine=engine)
+        rt = self.make_runtime(
+            config, system, collect_mem_events, engine=engine, observer=observer
+        )
         state = self.build(rt, scale)
         reports = self.run(rt, state, on_cpu=on_cpu)
         if validate:

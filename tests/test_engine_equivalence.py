@@ -191,6 +191,42 @@ class TestColumnarBuffer:
         assert list(iter_mem_events(trace)) == [(3, 0, 0x100, 4), (3, 1, 0x104, 4)]
 
 
+class TestCounterEquivalence:
+    """The observability counters are a pure function of execution, so the
+    two engines must publish identical totals for everything the traces
+    and timing models derive (instructions, flops, memory events, cache
+    hits...).  Only the code-cache and pool counters may differ — the
+    reference interpreter never compiles and pools differently."""
+
+    ENGINE_INDEPENDENT = ("engine.", "mem_events.", "gpu.", "cpu.")
+
+    @pytest.mark.parametrize("name", NINE)
+    def test_counters_identical_across_engines(self, name):
+        from repro.obs import Observer
+
+        totals = {}
+        for engine in ("reference", "compiled"):
+            observer = Observer()
+            workload = WORKLOADS[name]()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                workload.execute(
+                    None,
+                    ultrabook(),
+                    scale=0.1,
+                    engine=engine,
+                    observer=observer,
+                )
+            totals[engine] = {
+                key: value
+                for key, value in observer.counters.as_dict().items()
+                if key.startswith(self.ENGINE_INDEPENDENT)
+            }
+        assert totals["reference"] == totals["compiled"], name
+        assert totals["compiled"]["engine.instructions"] > 0
+        assert totals["compiled"]["mem_events.kept"] > 0
+
+
 class TestPrivateMemoryPool:
     def test_recycled_buffer_is_rezeroed(self):
         pool = PrivateMemoryPool(64)
