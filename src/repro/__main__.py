@@ -8,6 +8,9 @@ Usage::
     python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--format json|csv] [--output FILE]
+    python -m repro fuzz [--seed N] [--iterations K]
+                         [--target all|frontend|ir|passes|engines]
+                         [--corpus DIR] [--no-reduce] [--max-divergences M]
 
 ``compile`` parses and compiles a MiniC++ translation unit and prints the
 requested artifact for every heterogeneous body class found.  ``run``
@@ -15,7 +18,9 @@ additionally executes a kernel over a zero-initialized body (useful for
 smoke-testing kernels whose body needs no host setup).  ``profile`` runs
 one of the nine registered evaluation workloads under the observability
 layer and emits its per-kernel profile document (JSON by default; see
-``docs/OBSERVABILITY.md`` for the schema).
+``docs/OBSERVABILITY.md`` for the schema).  ``fuzz`` runs a deterministic
+differential-fuzzing campaign (see ``docs/FUZZING.md``), exits non-zero
+on any divergence, and writes reduced reproducers to ``--corpus``.
 """
 
 from __future__ import annotations
@@ -75,9 +80,39 @@ def main(argv=None) -> int:
         "--output", default=None, help="write to FILE instead of stdout"
     )
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="run a differential fuzzing campaign"
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument("--iterations", type=int, default=200)
+    fuzz_parser.add_argument(
+        "--target",
+        choices=["all", "frontend", "ir", "passes", "engines"],
+        default="all",
+    )
+    fuzz_parser.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="write reduced reproducers into DIR (created if missing)",
+    )
+    fuzz_parser.add_argument(
+        "--no-reduce",
+        action="store_true",
+        help="report divergences without shrinking them",
+    )
+    fuzz_parser.add_argument(
+        "--max-divergences",
+        type=int,
+        default=5,
+        help="stop the campaign after this many divergences",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     try:
         with open(args.file) as handle:
             source = handle.read()
@@ -189,6 +224,49 @@ def _profile(args) -> int:
         )
     else:
         sys.stdout.write(rendered)
+    return 0
+
+
+def _fuzz(args) -> int:
+    from .fuzz import FuzzDriver
+    from .obs import Observer
+
+    observer = Observer()
+    driver = FuzzDriver(
+        seed=args.seed,
+        iterations=args.iterations,
+        target=args.target,
+        corpus_dir=args.corpus,
+        observer=observer,
+        reduce=not args.no_reduce,
+        max_divergences=args.max_divergences,
+    )
+    report = driver.run(progress=lambda line: print(line, flush=True))
+    print(report.summary())
+    counters = observer.counters
+    detail = ", ".join(
+        f"{name}={int(counters.get(name))}"
+        for name in (
+            "fuzz.iterations",
+            "fuzz.divergences",
+            "fuzz.reduction_attempts",
+        )
+        if name in counters
+    )
+    if detail:
+        print(f"counters: {detail}")
+    for path in report.corpus_files:
+        print(f"reproducer: {path}")
+    if not report.ok:
+        for divergence in report.divergences:
+            print(
+                f"divergence (target={divergence.target}, "
+                f"iteration={divergence.iteration}):",
+                file=sys.stderr,
+            )
+            for diff in divergence.diffs:
+                print(f"  {diff}", file=sys.stderr)
+        return 1
     return 0
 
 

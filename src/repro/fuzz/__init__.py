@@ -1,0 +1,70 @@
+"""Differential fuzzing for the Concord reproduction.
+
+Two seeded generators (:mod:`repro.fuzz.srcgen` for MiniC++ sources,
+:mod:`repro.fuzz.irgen` for verifier-clean IR), a set of differential
+oracles (:mod:`repro.fuzz.oracle`: reference interpreter vs compiled
+engine, CPU vs GPU kernel forms, full pass pipeline vs per-pass-disabled
+pipelines), a spec-tree reducer (:mod:`repro.fuzz.reduce`), and a
+deterministic campaign driver (:mod:`repro.fuzz.driver`) that writes
+reduced reproducers into ``tests/corpus/``.
+
+Entry point: ``python -m repro fuzz --seed N --iterations K
+--target {all,frontend,ir,passes,engines}``.
+"""
+
+from .driver import (
+    TARGETS,
+    Divergence,
+    FuzzDriver,
+    FuzzReport,
+    load_corpus_entry,
+    write_reproducer,
+)
+from .irgen import BUF_SLOTS, IRProgram, build_ir, generate_ir_program
+from .oracle import (
+    IR_PASS_NAMES,
+    Outcome,
+    compare_outcomes,
+    ir_divergences,
+    run_ir_function,
+    run_source_program,
+    source_config_divergences,
+    source_engine_divergences,
+    source_pass_divergences,
+)
+from .reduce import (
+    ReductionResult,
+    reduce_ir_program,
+    reduce_source_program,
+    reduce_spec,
+)
+from .srcgen import SourceProgram, generate_source_program, render_source
+
+__all__ = [
+    "BUF_SLOTS",
+    "Divergence",
+    "FuzzDriver",
+    "FuzzReport",
+    "IRProgram",
+    "IR_PASS_NAMES",
+    "Outcome",
+    "ReductionResult",
+    "SourceProgram",
+    "TARGETS",
+    "build_ir",
+    "compare_outcomes",
+    "generate_ir_program",
+    "generate_source_program",
+    "ir_divergences",
+    "load_corpus_entry",
+    "reduce_ir_program",
+    "reduce_source_program",
+    "reduce_spec",
+    "render_source",
+    "run_ir_function",
+    "run_source_program",
+    "source_config_divergences",
+    "source_engine_divergences",
+    "source_pass_divergences",
+    "write_reproducer",
+]

@@ -1,0 +1,409 @@
+"""Seeded random IR generator: verifier-clean CFGs via ``repro.ir.builder``.
+
+Where :mod:`repro.fuzz.srcgen` fuzzes the whole frontend, this module
+constructs IR functions *directly* — structured control flow (nested
+``if`` diamonds and counted loops with explicit phi nodes), integer and
+float arithmetic, guarded division, ``alloca`` cells (so ``mem2reg`` has
+promotion work), direct calls (so the inliner has work), and loads/stores
+into a bounded scratch buffer.  Every generated function must pass
+:func:`repro.ir.verify_function`; a generated function the verifier
+accepts but an engine or pass mishandles is, by construction, a bug in
+the verifier, the pass, or the engine.
+
+Specs are plain dict/list trees inside :class:`IRProgram`, shrinkable by
+:mod:`repro.fuzz.reduce` and serializable into ``tests/corpus/``.
+
+Value references inside specs are *modular indices* into the pool of SSA
+values available at that point (``pool[ref % len(pool)]``), which keeps
+every spec renderable after arbitrary statement deletions during
+reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir import Function, FunctionType, IRBuilder, Module, verify_function
+from ..ir.builder import add_phi_incoming
+from ..ir.types import F32, I32, I64, ptr
+from ..ir.values import ICMP_PREDS
+
+#: Scratch-buffer length in i32 slots; dynamic indices are masked to it.
+BUF_SLOTS = 16
+
+_ARITH_OPS = ("add", "sub", "mul", "and", "or", "xor")
+_SHIFT_OPS = ("shl", "lshr", "ashr")
+_DIV_OPS = ("sdiv", "srem", "udiv", "urem")
+_FARITH_OPS = ("fadd", "fsub", "fmul")
+_SIGNED_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+
+
+@dataclass
+class IRProgram:
+    """A generated IR function spec plus its inputs."""
+
+    seed: int
+    a: int
+    b: int
+    buf: list
+    use_alloca: bool
+    use_call: bool
+    use_floats: bool
+    stmts: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "a": self.a,
+            "b": self.b,
+            "buf": list(self.buf),
+            "use_alloca": self.use_alloca,
+            "use_call": self.use_call,
+            "use_floats": self.use_floats,
+            "stmts": self.stmts,
+        }
+
+    @staticmethod
+    def from_dict(doc: dict) -> "IRProgram":
+        return IRProgram(**doc)
+
+
+# -- spec generation ----------------------------------------------------------
+
+
+def _gen_cond(rng) -> dict:
+    return {
+        "pred": rng.choice(_SIGNED_PREDS),
+        "a": rng.randrange(1 << 16),
+        "b": rng.randrange(1 << 16),
+    }
+
+
+def _gen_ir_stmts(rng, flags: dict, depth: int, budget: list) -> list:
+    stmts = []
+    count = rng.randint(1, 5 if depth == 0 else 3)
+    for _ in range(count):
+        if budget[0] <= 0:
+            break
+        budget[0] -= 1
+        roll = rng.random()
+        ref = lambda: rng.randrange(1 << 16)  # noqa: E731 — modular value ref
+        if depth < 2 and roll < 0.13:
+            stmts.append({
+                "k": "loop",
+                "trips": rng.randint(1, 6),
+                "init": ref(),
+                "body": _gen_ir_stmts(rng, flags, depth + 1, budget),
+            })
+        elif depth < 2 and roll < 0.28:
+            stmts.append({
+                "k": "if",
+                "cond": _gen_cond(rng),
+                "then": _gen_ir_stmts(rng, flags, depth + 1, budget),
+                "else": _gen_ir_stmts(rng, flags, depth + 1, budget)
+                if rng.random() < 0.6
+                else [],
+            })
+        elif roll < 0.43:
+            stmts.append({
+                "k": "arith",
+                "op": rng.choice(_ARITH_OPS),
+                "a": ref(),
+                "b": ref(),
+            })
+        elif roll < 0.50:
+            stmts.append({
+                "k": "shift",
+                "op": rng.choice(_SHIFT_OPS),
+                "a": ref(),
+                "b": ref(),
+            })
+        elif roll < 0.56:
+            stmts.append({
+                "k": "div",
+                "op": rng.choice(_DIV_OPS),
+                "a": ref(),
+                "b": ref(),
+            })
+        elif roll < 0.62:
+            stmts.append({"k": "cmpzext", "cond": _gen_cond(rng)})
+        elif roll < 0.68:
+            stmts.append({
+                "k": "select",
+                "cond": _gen_cond(rng),
+                "a": ref(),
+                "b": ref(),
+            })
+        elif roll < 0.76:
+            stmts.append({"k": "load", "idx": ref()})
+        elif roll < 0.84:
+            stmts.append({"k": "store", "idx": ref(), "val": ref()})
+        elif flags["use_alloca"] and roll < 0.89:
+            stmts.append(rng.choice(
+                [{"k": "cell_load"}, {"k": "cell_store", "val": ref()}]
+            ))
+        elif flags["use_call"] and roll < 0.94:
+            stmts.append({"k": "call", "a": ref(), "b": ref()})
+        elif flags["use_floats"]:
+            stmts.append(rng.choice([
+                {"k": "farith", "op": rng.choice(_FARITH_OPS),
+                 "a": ref(), "b": ref()},
+                {"k": "f2i", "a": ref()},
+                {"k": "i2f", "a": ref()},
+            ]))
+        else:
+            stmts.append({
+                "k": "arith",
+                "op": rng.choice(_ARITH_OPS),
+                "a": ref(),
+                "b": ref(),
+            })
+    return stmts
+
+
+def generate_ir_program(rng, seed: int = 0) -> IRProgram:
+    flags = {
+        "use_alloca": rng.random() < 0.5,
+        "use_call": rng.random() < 0.4,
+        "use_floats": rng.random() < 0.4,
+    }
+    budget = [rng.randint(4, 14)]
+    stmts = _gen_ir_stmts(rng, flags, 0, budget)
+    extremes = [-(1 << 31), (1 << 31) - 1, -1, 0]
+    return IRProgram(
+        seed=seed,
+        a=rng.choice(extremes) if rng.random() < 0.15 else rng.randint(-10**6, 10**6),
+        b=rng.choice(extremes) if rng.random() < 0.15 else rng.randint(-10**6, 10**6),
+        buf=[rng.randint(-1000, 1000) for _ in range(BUF_SLOTS)],
+        use_alloca=flags["use_alloca"],
+        use_call=flags["use_call"],
+        use_floats=flags["use_floats"],
+        stmts=stmts,
+    )
+
+
+# -- rendering to IR ----------------------------------------------------------
+
+
+class _Renderer:
+    """Renders a spec tree into one IR function.
+
+    ``pool``/``fpool`` hold the SSA values in scope at the current
+    insertion point; branch- and loop-local values never leak out (only
+    the merge phis do), so dominance holds by construction.
+    """
+
+    def __init__(self, program: IRProgram, module: Module):
+        self.program = program
+        self.module = module
+        self.fn = Function(
+            "fuzz.fn", FunctionType(I64, (I32, I32, ptr(I32))), ["a", "b", "buf"]
+        )
+        module.add_function(self.fn)
+        self.callee: Optional[Function] = None
+        if program.use_call:
+            self.callee = _make_callee(module)
+        self.builder = IRBuilder()
+        self.cell = None
+        self._name_counter = 0
+
+    def render(self) -> Function:
+        entry = self.fn.new_block("entry")
+        self.builder.position_at_end(entry)
+        a, b, buf = self.fn.args
+        pool = [a, b, self.builder.i32(3)]
+        fpool = []
+        if self.program.use_floats:
+            fpool.append(self.builder.cast("sitofp", a, F32))
+            fpool.append(self.builder.const(1.5, F32))
+        if self.program.use_alloca:
+            self.cell = self.builder.alloca(I32)
+            self.builder.store(a, self.cell)
+        pool, fpool = self._render_stmts(self.program.stmts, pool, fpool)
+        # Fold the live tail of the pool into one i64 result.
+        result = self.builder.cast("sext", pool[-1], I64)
+        for value in pool[-3:-1]:
+            widened = self.builder.cast("sext", value, I64)
+            result = self.builder.binop("xor", result, widened)
+        if fpool:
+            as_int = self.builder.cast("fptosi", fpool[-1], I32)
+            widened = self.builder.cast("sext", as_int, I64)
+            result = self.builder.binop("xor", result, widened)
+        self.builder.ret(result)
+        verify_function(self.fn)
+        return self.fn
+
+    # -- helpers ----------------------------------------------------------
+
+    def _pick(self, pool, ref):
+        return pool[ref % len(pool)]
+
+    def _cond(self, pool, cond: dict):
+        lhs = self._pick(pool, cond["a"])
+        rhs = self._pick(pool, cond["b"])
+        return self.builder.icmp(cond["pred"], lhs, rhs)
+
+    def _buf_address(self, idx_value):
+        """Mask a pool value into [0, BUF_SLOTS) and gep into the buffer."""
+        masked = self.builder.binop(
+            "and", idx_value, self.builder.i32(BUF_SLOTS - 1)
+        )
+        return self.builder.gep(
+            self.fn.args[2], ptr(I32), indices=[(masked, 4)]
+        )
+
+    def _block(self, base: str):
+        self._name_counter += 1
+        return self.fn.new_block(f"{base}{self._name_counter}")
+
+    # -- statement rendering ----------------------------------------------
+
+    def _render_stmts(self, stmts, pool, fpool):
+        pool = list(pool)
+        fpool = list(fpool)
+        for stmt in stmts:
+            kind = stmt["k"]
+            if kind == "arith":
+                pool.append(self.builder.binop(
+                    stmt["op"],
+                    self._pick(pool, stmt["a"]),
+                    self._pick(pool, stmt["b"]),
+                ))
+            elif kind == "shift":
+                amount = self.builder.binop(
+                    "and", self._pick(pool, stmt["b"]), self.builder.i32(7)
+                )
+                pool.append(self.builder.binop(
+                    stmt["op"], self._pick(pool, stmt["a"]), amount
+                ))
+            elif kind == "div":
+                divisor = self.builder.binop(
+                    "or", self._pick(pool, stmt["b"]), self.builder.i32(1)
+                )
+                pool.append(self.builder.binop(
+                    stmt["op"], self._pick(pool, stmt["a"]), divisor
+                ))
+            elif kind == "cmpzext":
+                flag = self._cond(pool, stmt["cond"])
+                pool.append(self.builder.cast("zext", flag, I32))
+            elif kind == "select":
+                flag = self._cond(pool, stmt["cond"])
+                pool.append(self.builder.select(
+                    flag, self._pick(pool, stmt["a"]), self._pick(pool, stmt["b"])
+                ))
+            elif kind == "load":
+                address = self._buf_address(self._pick(pool, stmt["idx"]))
+                pool.append(self.builder.load(address))
+            elif kind == "store":
+                address = self._buf_address(self._pick(pool, stmt["idx"]))
+                self.builder.store(self._pick(pool, stmt["val"]), address)
+            elif kind == "cell_load" and self.cell is not None:
+                pool.append(self.builder.load(self.cell))
+            elif kind == "cell_store" and self.cell is not None:
+                self.builder.store(self._pick(pool, stmt["val"]), self.cell)
+            elif kind == "call" and self.callee is not None:
+                pool.append(self.builder.call(
+                    self.callee,
+                    [self._pick(pool, stmt["a"]), self._pick(pool, stmt["b"])],
+                ))
+            elif kind == "farith" and fpool:
+                fpool.append(self.builder.binop(
+                    stmt["op"],
+                    self._pick(fpool, stmt["a"]),
+                    self._pick(fpool, stmt["b"]),
+                ))
+            elif kind == "f2i" and fpool:
+                pool.append(self.builder.cast(
+                    "fptosi", self._pick(fpool, stmt["a"]), I32
+                ))
+            elif kind == "i2f":
+                fpool.append(self.builder.cast(
+                    "sitofp", self._pick(pool, stmt["a"]), F32
+                ))
+            elif kind == "if":
+                pool = self._render_if(stmt, pool, fpool)
+            elif kind == "loop":
+                pool = self._render_loop(stmt, pool, fpool)
+        return pool, fpool
+
+    def _render_if(self, stmt, pool, fpool):
+        flag = self._cond(pool, stmt["cond"])
+        then_bb = self._block("then")
+        else_bb = self._block("else")
+        merge_bb = self._block("merge")
+        self.builder.condbr(flag, then_bb, else_bb)
+
+        self.builder.position_at_end(then_bb)
+        then_pool, _ = self._render_stmts(stmt["then"], pool, fpool)
+        then_val = then_pool[-1]
+        then_end = self.builder.block
+        self.builder.br(merge_bb)
+
+        self.builder.position_at_end(else_bb)
+        else_pool, _ = self._render_stmts(stmt["else"], pool, fpool)
+        else_val = else_pool[-1]
+        else_end = self.builder.block
+        self.builder.br(merge_bb)
+
+        self.builder.position_at_end(merge_bb)
+        merged = self.builder.phi(I32)
+        add_phi_incoming(merged, then_val, then_end)
+        add_phi_incoming(merged, else_val, else_end)
+        # Branch-local values stay local; only the merge phi escapes.
+        return list(pool) + [merged]
+
+    def _render_loop(self, stmt, pool, fpool):
+        pre = self.builder.block
+        header = self._block("header")
+        body_bb = self._block("body")
+        exit_bb = self._block("exit")
+        init = self._pick(pool, stmt["init"])
+        self.builder.br(header)
+
+        self.builder.position_at_end(header)
+        counter = self.builder.phi(I32)
+        acc = self.builder.phi(I32)
+        in_bounds = self.builder.icmp(
+            "slt", counter, self.builder.i32(stmt["trips"])
+        )
+        self.builder.condbr(in_bounds, body_bb, exit_bb)
+
+        self.builder.position_at_end(body_bb)
+        body_pool, _ = self._render_stmts(
+            stmt["body"], list(pool) + [counter, acc], fpool
+        )
+        carried = self.builder.binop("add", body_pool[-1], acc)
+        next_counter = self.builder.add(counter, self.builder.i32(1))
+        latch = self.builder.block
+        self.builder.br(header)
+
+        add_phi_incoming(counter, self.builder.i32(0), pre)
+        add_phi_incoming(counter, next_counter, latch)
+        add_phi_incoming(acc, init, pre)
+        add_phi_incoming(acc, carried, latch)
+
+        self.builder.position_at_end(exit_bb)
+        # The header phis dominate the exit block; the accumulator escapes.
+        return list(pool) + [acc]
+
+
+def _make_callee(module: Module) -> Function:
+    callee = Function(
+        "fuzz.callee", FunctionType(I32, (I32, I32)), ["p", "q"]
+    )
+    callee.attributes["device"] = True
+    module.add_function(callee)
+    builder = IRBuilder(callee.new_block("entry"))
+    mixed = builder.binop("xor", callee.args[0], callee.args[1])
+    scaled = builder.mul(mixed, builder.i32(3))
+    builder.ret(builder.add(scaled, builder.i32(7)))
+    return callee
+
+
+def build_ir(program: IRProgram, module_name: str = "fuzzmod"):
+    """Render ``program`` into a fresh module.  Returns ``(module, fn)``;
+    the function is verifier-clean by the generator contract."""
+    module = Module(module_name)
+    fn = _Renderer(program, module).render()
+    return module, fn

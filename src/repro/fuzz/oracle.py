@@ -1,0 +1,402 @@
+"""Differential oracles: cross-engine, cross-device and cross-pass.
+
+Three comparisons back the fuzzer's claim of semantic preservation:
+
+* **engines** — the reference tree-walking :class:`~repro.exec.Interpreter`
+  and the threaded-code :class:`~repro.exec.CompiledEngine` must produce
+  bit-identical results, shared-region bytes, execution traces, and trap
+  behaviour for the same compiled program on the same device;
+* **devices** — the CPU form of a kernel (pre device lowering) and the
+  GPU form (devirt + inline + SVM lowering + PTROPT/L3OPT) must compute
+  the same outputs (region bytes are compared only where layouts match:
+  the reduce construct allocates per-device scratch copies);
+* **passes** — the full pipeline and every per-pass-disabled pipeline
+  (``OptConfig.without_pass``; one configuration per entry in
+  :data:`repro.passes.pipeline.DISABLEABLE_PASSES`) must agree on outputs
+  and region bytes.  Passes in ``GPU_SAFE_DISABLE`` are compared on the
+  GPU path; ``inline``/``devirt`` are structurally required for device
+  lowering, so their disabled configurations are compared on the CPU path.
+
+Outcomes carry everything comparable; :func:`compare_outcomes` returns a
+human-readable list of differences (empty = equivalent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exec import ExecutionError
+from ..passes import OptConfig
+from ..passes.pipeline import DISABLEABLE_PASSES, GPU_SAFE_DISABLE
+from ..svm import MemoryFault
+from .srcgen import SourceProgram
+
+#: Region size for fuzz runtimes — small, so full-region digests are cheap.
+FUZZ_REGION_SIZE = 1 << 16
+
+
+@dataclass
+class Outcome:
+    """Everything observable from one program execution.
+
+    ``region_digest`` hashes the shared region verbatim; ``heap_digest``
+    hashes it with vtable globals masked out.  Vtable slots hold symbol
+    ids assigned per compiled module, so they legitimately differ between
+    two *configurations* of the same source while all kernel-visible heap
+    state must still match; two *engines* running the same compiled
+    program must agree on every byte.
+    """
+
+    ok: bool
+    trap: str = ""  # exception class name when not ok
+    outputs: dict = field(default_factory=dict)
+    region_digest: str = ""
+    heap_digest: str = ""
+    trace_sig: Optional[tuple] = None
+
+    def brief(self) -> str:
+        if not self.ok:
+            return f"trap:{self.trap}"
+        return f"ok region={self.region_digest[:12]}"
+
+
+def _digest(raw) -> str:
+    return hashlib.sha256(bytes(raw)).hexdigest()
+
+
+def _heap_digest(region, module) -> str:
+    """Region digest with vtable-global bytes zeroed (their symbol-id
+    contents are per-module metadata, not kernel heap state)."""
+    raw = bytearray(region.physical.data)
+    for gvar in module.globals.values():
+        init = gvar.initializer
+        if not (isinstance(init, tuple) and init and init[0] == "vtable"):
+            continue
+        if gvar.address is None:
+            continue
+        offset = gvar.address - region.cpu_base
+        size = max(1, gvar.value_type.size())
+        raw[offset : offset + size] = b"\x00" * size
+    return _digest(raw)
+
+
+def _trace_signature(traces) -> tuple:
+    """A hashable, engine-representation-independent trace summary."""
+    sig = []
+    for trace in traces:
+        events = tuple(
+            (e.instr_uid, e.seq, e.address, e.size, e.is_store)
+            for e in trace.mem_events
+        )
+        sig.append((
+            trace.instructions,
+            tuple(sorted(trace.block_counts.items())),
+            tuple(sorted((k, tuple(v)) for k, v in trace.branch_stats.items())),
+            trace.flops,
+            trace.int_ops,
+            trace.translations,
+            trace.calls,
+            trace.mem_events_dropped,
+            events,
+        ))
+    return tuple(sig)
+
+
+# -- source-program execution -------------------------------------------------
+
+
+def run_source_program(
+    program: SourceProgram,
+    engine: str = "compiled",
+    config: Optional[OptConfig] = None,
+    device: str = "gpu",
+    keep_traces: bool = False,
+    compiled=None,
+) -> Outcome:
+    """Compile (unless ``compiled`` is passed) and execute one generated
+    program, returning the full observable outcome."""
+    from ..ir.types import F32, I32
+    from ..runtime import ConcordRuntime, compile_source, ultrabook
+
+    config = config or OptConfig.gpu_all()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        if compiled is None:
+            try:
+                compiled = compile_source(program.source, config)
+            except Exception as exc:  # frontend rejecting generator output
+                return Outcome(ok=False, trap=f"frontend:{type(exc).__name__}")
+        rt = ConcordRuntime(
+            compiled,
+            ultrabook(),
+            region_size=FUZZ_REGION_SIZE,
+            engine=engine,
+            keep_traces=keep_traces,
+        )
+        data = rt.new_array(I32, program.n)
+        data.fill_from(program.data)
+        aux = rt.new_array(I32, program.aux_len)
+        aux.fill_from(program.aux)
+        body = rt.new(program.class_name)
+        body.data = data
+        body.aux = aux
+        body.s0 = program.s0
+        body.s1 = program.s1
+        fdata = None
+        if program.uses_floats:
+            fdata = rt.new_array(F32, program.n)
+            fdata.fill_from(program.fdata)
+            body.fdata = fdata
+        if program.uses_virtual:
+            obj = rt.new(program.virtual_class)
+            obj.salt = program.salt
+            body.obj = obj
+        if program.construct == "reduce":
+            body.acc = 0
+        try:
+            if program.construct == "reduce":
+                rt.parallel_reduce_hetero(program.n, body, on_cpu=device == "cpu")
+            else:
+                rt.parallel_for_hetero(program.n, body, on_cpu=device == "cpu")
+        except (ExecutionError, MemoryFault) as exc:
+            return Outcome(ok=False, trap=type(exc).__name__)
+        outputs = {
+            "data": data.to_list(),
+            "aux": aux.to_list(),
+        }
+        if fdata is not None:
+            outputs["fdata"] = fdata.to_list()
+        if program.construct == "reduce":
+            outputs["acc"] = body.acc
+        return Outcome(
+            ok=True,
+            outputs=outputs,
+            region_digest=_digest(rt.region.physical.data),
+            heap_digest=_heap_digest(rt.region, compiled.module),
+            trace_sig=_trace_signature(rt.trace_log) if keep_traces else None,
+        )
+
+
+def compare_outcomes(
+    a: Outcome,
+    b: Outcome,
+    label_a: str,
+    label_b: str,
+    region: str = "full",
+    traces: bool = False,
+) -> list:
+    """Differences between two outcomes (empty list = equivalent).
+
+    ``region`` picks the heap-state comparison: ``"full"`` (every byte —
+    right when both ran the same compiled program), ``"heap"`` (vtable
+    metadata masked — right across configurations of the same source) or
+    ``"none"`` (layouts incomparable, e.g. across devices for reduce).
+    """
+    diffs = []
+    if a.ok != b.ok or a.trap != b.trap:
+        diffs.append(
+            f"behaviour: {label_a}={a.brief()} vs {label_b}={b.brief()}"
+        )
+        return diffs
+    if not a.ok:
+        return diffs  # both trapped identically
+    for key in sorted(set(a.outputs) | set(b.outputs)):
+        if a.outputs.get(key) != b.outputs.get(key):
+            diffs.append(
+                f"output {key!r}: {label_a}={a.outputs.get(key)} vs "
+                f"{label_b}={b.outputs.get(key)}"
+            )
+    if region == "full" and a.region_digest != b.region_digest:
+        diffs.append(
+            f"region bytes: {label_a}={a.region_digest[:16]} vs "
+            f"{label_b}={b.region_digest[:16]}"
+        )
+    elif region == "heap" and a.heap_digest != b.heap_digest:
+        diffs.append(
+            f"heap bytes: {label_a}={a.heap_digest[:16]} vs "
+            f"{label_b}={b.heap_digest[:16]}"
+        )
+    if traces and a.trace_sig is not None and b.trace_sig is not None:
+        if a.trace_sig != b.trace_sig:
+            diffs.append(f"execution traces differ ({label_a} vs {label_b})")
+    return diffs
+
+
+# -- oracles over source programs ---------------------------------------------
+
+
+def source_engine_divergences(program: SourceProgram) -> list:
+    """Reference interpreter vs compiled engine, per device, bit-for-bit
+    (outputs, region bytes, traces, traps); plus the cross-device
+    output check.
+
+    Compiles once and shares the program across all runs — block/instr
+    uids are global counters, so traces are only comparable between
+    executions of the *same* IR objects."""
+    from ..runtime import compile_source
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            compiled = compile_source(program.source, OptConfig.gpu_all())
+        except Exception:
+            # Frontend rejection is engine-independent: nothing to compare.
+            return []
+    diffs = []
+    per_device = {}
+    for device in ("gpu", "cpu"):
+        ref = run_source_program(
+            program, engine="reference", device=device, keep_traces=True,
+            compiled=compiled,
+        )
+        com = run_source_program(
+            program, engine="compiled", device=device, keep_traces=True,
+            compiled=compiled,
+        )
+        diffs.extend(compare_outcomes(
+            ref, com, f"reference/{device}", f"compiled/{device}",
+            region="full", traces=True,
+        ))
+        per_device[device] = com
+    # Device independence: same outputs from the CPU and GPU kernel forms.
+    # Region layout differs for reduce (per-device scratch copies), so
+    # compare outputs only.
+    diffs.extend(compare_outcomes(
+        per_device["gpu"], per_device["cpu"], "compiled/gpu", "compiled/cpu",
+        region="none",
+    ))
+    return diffs
+
+
+def source_pass_divergences(
+    program: SourceProgram, pass_names=None
+) -> list:
+    """Full pipeline vs per-pass-disabled pipelines.
+
+    ``pass_names`` defaults to every disableable pass; the driver rotates
+    through them one per iteration to bound per-program cost.
+    """
+    names = list(pass_names) if pass_names is not None else list(DISABLEABLE_PASSES)
+    diffs = []
+    baseline = {}
+    for name in names:
+        device = "gpu" if name in GPU_SAFE_DISABLE else "cpu"
+        if device not in baseline:
+            baseline[device] = run_source_program(
+                program, config=OptConfig.gpu_all(), device=device
+            )
+        disabled = run_source_program(
+            program,
+            config=OptConfig.gpu_all().without_pass(name),
+            device=device,
+        )
+        diffs.extend(compare_outcomes(
+            baseline[device],
+            disabled,
+            f"full/{device}",
+            f"no-{name}/{device}",
+            region="heap",
+        ))
+    return diffs
+
+
+def source_config_divergences(program: SourceProgram) -> list:
+    """The paper's four measured configurations (GPU, +PTROPT, +L3OPT,
+    +ALL) must agree bit-for-bit on the GPU path."""
+    outcomes = [
+        (config.label, run_source_program(program, config=config))
+        for config in OptConfig.all_configs()
+    ]
+    label0, base = outcomes[0]
+    diffs = []
+    for label, outcome in outcomes[1:]:
+        diffs.extend(compare_outcomes(base, outcome, label0, label, region="heap"))
+    return diffs
+
+
+# -- oracles over IR programs -------------------------------------------------
+
+#: Function passes exercised by the IR-level differential (name → applied
+#: to a clone of the generated function; must preserve results).
+IR_PASS_NAMES = (
+    "mem2reg",
+    "constfold",
+    "cse",
+    "dce",
+    "simplifycfg",
+    "licm",
+    "tailrec",
+    "unroll",
+    "inline",
+)
+
+
+def run_ir_function(fn, program, engine: str = "interpreter") -> Outcome:
+    """Execute one rendered IR function over a fresh region + scratch
+    buffer; returns ret value + buffer contents."""
+    from ..exec import CompiledEngine, Interpreter
+    from ..svm import SharedAllocator, SharedRegion
+    from .irgen import BUF_SLOTS
+
+    region = SharedRegion(FUZZ_REGION_SIZE)
+    allocator = SharedAllocator(region)
+    buf = allocator.calloc(BUF_SLOTS * 4)
+    for slot, value in enumerate(program.buf):
+        region.write_int(buf + slot * 4, 4, value & 0xFFFFFFFF, signed=False)
+    if engine == "interpreter":
+        executor = Interpreter(region, "cpu")
+    else:
+        executor = CompiledEngine(region, "cpu")
+    try:
+        ret = executor.call_function(fn, [program.a, program.b, buf])
+    except (ExecutionError, MemoryFault) as exc:
+        return Outcome(ok=False, trap=type(exc).__name__)
+    return Outcome(
+        ok=True,
+        outputs={"ret": ret, "buf": list(region.read_bytes(buf, BUF_SLOTS * 4))},
+        region_digest=_digest(region.physical.data),
+    )
+
+
+def ir_divergences(program) -> list:
+    """Cross-engine and per-pass differentials for one IR program."""
+    from ..ir import VerificationError, verify_function
+    from ..passes import PassManager
+    from ..passes.pipeline import PASS_REGISTRY
+    from ..runtime.clone import clone_function
+    from .irgen import build_ir
+
+    diffs = []
+    module, fn = build_ir(program)
+    reference = run_ir_function(fn, program, engine="interpreter")
+    compiled = run_ir_function(fn, program, engine="compiled")
+    diffs.extend(compare_outcomes(
+        reference, compiled, "interpreter", "compiled-engine", region="full"
+    ))
+
+    manager = PassManager(verify=False)
+    for index, name in enumerate(IR_PASS_NAMES):
+        clone = clone_function(module, fn, f"{fn.name}.{name}.{index}")
+        pass_fn = PASS_REGISTRY[name]
+        if name == "inline":
+            pass_fn = pass_fn(module)
+        try:
+            manager.run(clone, [pass_fn])
+            verify_function(clone)
+        except VerificationError as exc:
+            diffs.append(f"pass {name} broke the verifier: {exc}")
+            continue
+        after = run_ir_function(clone, program, engine="interpreter")
+        diffs.extend(compare_outcomes(
+            reference, after, "unoptimized", f"after-{name}", region="full"
+        ))
+        # The compiled engine must agree on the transformed IR too.
+        after_compiled = run_ir_function(clone, program, engine="compiled")
+        diffs.extend(compare_outcomes(
+            after, after_compiled, f"after-{name}/interp",
+            f"after-{name}/compiled", region="full"
+        ))
+    return diffs

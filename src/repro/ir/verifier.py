@@ -10,7 +10,7 @@ scalars), and dangling block references.
 from __future__ import annotations
 
 from .cfg import DominatorTree
-from .types import PointerType, VoidType
+from .types import IntType, PointerType, VoidType
 from .values import Argument, Constant, Function, GlobalVariable, Instruction, Module
 
 
@@ -56,14 +56,32 @@ def verify_function(function: Function) -> None:
     for block in function.blocks:
         expected = preds[block]
         for phi in block.phis():
+            if not phi.operands:
+                raise VerificationError(
+                    f"{function.name}: phi in {block.name} has no incoming values"
+                )
             if len(phi.operands) != len(phi.phi_blocks):
                 raise VerificationError(
                     f"{function.name}: phi operand/block arity mismatch in {block.name}"
                 )
+            # One entry per predecessor block.  A block reached twice by the
+            # same condbr (both targets equal) still lists that predecessor
+            # once; duplicate entries would make the incoming value
+            # ambiguous (the engines take the first match).
+            if len(set(phi.phi_blocks)) != len(phi.phi_blocks):
+                dupes = sorted(
+                    b.name
+                    for b in set(phi.phi_blocks)
+                    if phi.phi_blocks.count(b) > 1
+                )
+                raise VerificationError(
+                    f"{function.name}: phi in {block.name} lists incoming "
+                    f"block(s) {dupes} more than once"
+                )
             incoming = set(phi.phi_blocks)
             if incoming != set(expected):
                 names = sorted(b.name for b in incoming)
-                want = sorted(b.name for b in expected)
+                want = sorted(set(b.name for b in expected))
                 raise VerificationError(
                     f"{function.name}: phi in {block.name} has incoming {names}, "
                     f"preds are {want}"
@@ -85,9 +103,35 @@ def _check_types(function: Function, instr: Instruction) -> None:
             raise VerificationError(
                 f"{function.name}: store to non-pointer in {instr!r}"
             )
+        value = instr.operands[0]
+        pointee = ptr.type.pointee
+        if not isinstance(pointee, VoidType) and value.type.size() != pointee.size():
+            raise VerificationError(
+                f"{function.name}: store of {value.type} ({value.type.size()}B) "
+                f"through pointer to {pointee} ({pointee.size()}B) in {instr!r}"
+            )
     elif instr.op == "condbr":
         if len(instr.targets) != 2:
             raise VerificationError(f"{function.name}: condbr needs two targets")
+        cond = instr.operands[0]
+        if not isinstance(cond.type, IntType):
+            raise VerificationError(
+                f"{function.name}: condbr condition has non-integer type "
+                f"{cond.type}"
+            )
+    elif instr.op == "br":
+        if len(instr.targets) != 1:
+            raise VerificationError(f"{function.name}: br needs exactly one target")
+    elif instr.op == "ret":
+        wants_value = not isinstance(function.return_type, VoidType)
+        if wants_value and not instr.operands:
+            raise VerificationError(
+                f"{function.name}: ret without value in non-void function"
+            )
+        if not wants_value and instr.operands:
+            raise VerificationError(
+                f"{function.name}: ret with value in void function"
+            )
     elif instr.op == "gep":
         if len(instr.gep_scales) != len(instr.operands) - 1:
             raise VerificationError(

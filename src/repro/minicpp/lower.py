@@ -15,6 +15,7 @@ region.
 
 from __future__ import annotations
 
+import struct
 from typing import Optional
 
 from .. import ir
@@ -601,8 +602,13 @@ class FunctionLowerer:
 
     def _lower_FloatLiteral(self, expr: ast.FloatLiteral, want_lvalue):
         self._no_lvalue(want_lvalue, expr)
-        ftype = F64 if expr.is_double else F32
-        return ir.Constant(ftype, expr.value), ftype
+        if expr.is_double:
+            return ir.Constant(F64, expr.value), F64
+        # An f32 literal denotes the nearest single-precision value; quantize
+        # now so the register form matches what an f32 store/load round-trip
+        # would produce.
+        value = struct.unpack("f", struct.pack("f", expr.value))[0]
+        return ir.Constant(F32, value), F32
 
     def _lower_BoolLiteral(self, expr, want_lvalue):
         self._no_lvalue(want_lvalue, expr)

@@ -47,6 +47,7 @@ def _fold_once(function: Function) -> bool:
         changed = True
 
     # Fold condbr on constant condition into unconditional branch.
+    folded = False
     for block in function.blocks:
         term = block.terminator
         if term is not None and term.op == "condbr" and isinstance(term.operands[0], Constant):
@@ -57,6 +58,13 @@ def _fold_once(function: Function) -> bool:
             term.operands = []
             term.targets = [taken]
             changed = True
+            folded = True
+    if folded:
+        # Folding can orphan whole subgraphs whose blocks still feed phi
+        # edges elsewhere; drop them so the IR stays verifier-clean.
+        from .simplifycfg import remove_unreachable_blocks
+
+        remove_unreachable_blocks(function)
     return changed
 
 

@@ -111,6 +111,8 @@ def _match_candidate(function: Function, loop) -> Optional[_Candidate]:
 
     if not _body_is_permutable(function, loop, iv, step):
         return None
+    if _has_escaping_values(function, loop, iv, step):
+        return None
     if not _has_uniform_access(function, loop):
         return None
     return _Candidate(iv, step, bound, preheader)
@@ -167,24 +169,32 @@ def _is_reduction_phi(phi, preheader, latch, loop) -> bool:
 
 
 def _loop_bound(function, loop, iv, step):
-    """Find the exit test ``iv < N`` (or ``step != N`` / ``step < N``)."""
+    """Find the exit test ``iv < N`` (or ``step != N`` / ``step < N``).
+
+    The loop must have exactly ONE exiting branch and it must be the
+    canonical counter test.  Any additional exit is an early break whose
+    outcome depends on iteration order, which the stagger permutes — e.g.
+    a search loop that stops at the first match would visit a rotated
+    prefix instead.
+    """
+    exit_terms = []
     for block in loop.ordered():
         term = block.terminator
         if term is None or term.op != "condbr":
             continue
-        exits_loop = any(t not in loop.blocks for t in term.targets)
-        if not exits_loop:
-            continue
-        cond = term.operands[0]
-        if not isinstance(cond, Instruction) or cond.op != "icmp":
-            return None
-        lhs, rhs = cond.operands
-        for a, b in ((lhs, rhs), (rhs, lhs)):
-            if a is iv or a is step:
-                if cond.pred in ("slt", "ult", "ne", "sle", "ule", "sgt", "ugt"):
-                    if _is_loop_invariant(b, loop):
-                        return b
+        if any(t not in loop.blocks for t in term.targets):
+            exit_terms.append(term)
+    if len(exit_terms) != 1:
         return None
+    cond = exit_terms[0].operands[0]
+    if not isinstance(cond, Instruction) or cond.op != "icmp":
+        return None
+    lhs, rhs = cond.operands
+    for a, b in ((lhs, rhs), (rhs, lhs)):
+        if a is iv or a is step:
+            if cond.pred in ("slt", "ult", "ne", "sle", "ule", "sgt", "ugt"):
+                if _is_loop_invariant(b, loop):
+                    return b
     return None
 
 
@@ -219,6 +229,44 @@ def _is_private(pointer) -> bool:
             seen += 1
             continue
         return False
+    return False
+
+
+def _has_escaping_values(function, loop, iv, step) -> bool:
+    """True if a value computed in the loop is used after it.  Such a use
+    observes the *last* iteration's value, and the stagger changes which
+    element that is.  Reduction results escape through header phis (already
+    vetted as commutative); the counter itself always exits equal to the
+    bound, so ``iv``/``step`` are safe.
+
+    Header phis other than ``iv`` passed ``_is_reduction_phi``, so their
+    final value is order-independent — but the *step* instruction of a
+    min/max select is not (a post-loop use of the select sees the running
+    value at the last visited index only if the loop completed, which it
+    did; select steps are order-independent too once the loop runs to
+    completion).  Every non-phi body instruction is conservatively treated
+    as order-dependent.
+    """
+    safe = {id(iv), id(step)}
+    for phi in loop.header.phis():
+        safe.add(id(phi))
+        values = dict(zip(phi.phi_blocks, phi.operands))
+        for block, value in values.items():
+            if block in loop.blocks:
+                # The latch-side reduction step yields the same final value
+                # regardless of visit order (commutative by construction).
+                safe.add(id(value))
+    for block in function.blocks:
+        if block in loop.blocks:
+            continue
+        for instr in block.instructions:
+            for op in instr.operands:
+                if (
+                    isinstance(op, Instruction)
+                    and op.block in loop.blocks
+                    and id(op) not in safe
+                ):
+                    return True
     return False
 
 

@@ -13,6 +13,12 @@ Two pipelines mirror the paper's compiler (section 3 and 4):
 
 ``OptConfig`` selects the paper's four measured configurations: GPU,
 GPU+PTROPT, GPU+L3OPT and GPU+ALL.
+
+Both pipelines resolve their passes through :data:`PASS_REGISTRY` (name →
+callable) so that individual passes can be switched off by name via
+``OptConfig.disabled`` — the hook the differential fuzzer
+(:mod:`repro.fuzz`) uses to compare the full pipeline against every
+per-pass-disabled configuration.
 """
 
 from __future__ import annotations
@@ -24,6 +30,60 @@ from typing import Callable, Optional
 from ..ir import Function, Module, verify_function
 
 
+def _registry() -> dict:
+    from .constfold import constant_fold
+    from .cse import common_subexpression_elimination
+    from .dce import dead_code_elimination
+    from .devirt import expand_virtual_calls
+    from .inline import make_inliner
+    from .l3opt import reduce_cacheline_contention
+    from .licm import loop_invariant_code_motion
+    from .mem2reg import promote_memory_to_registers
+    from .ptropt import optimize_pointer_translations
+    from .simplifycfg import simplify_cfg
+    from .svmlower import lower_svm_pointers
+    from .tailrec import eliminate_tail_recursion
+    from .unroll import unroll_loops
+
+    return {
+        "tailrec": eliminate_tail_recursion,
+        "inline": make_inliner,  # factory: make_inliner(module) -> pass
+        "mem2reg": promote_memory_to_registers,
+        "constfold": constant_fold,
+        "cse": common_subexpression_elimination,
+        "dce": dead_code_elimination,
+        "simplifycfg": simplify_cfg,
+        "licm": loop_invariant_code_motion,
+        "devirt": expand_virtual_calls,  # called as devirt(module, fn)
+        "l3opt": reduce_cacheline_contention,
+        "svmlower": lower_svm_pointers,
+        "ptropt": optimize_pointer_translations,
+        "unroll": unroll_loops,
+    }
+
+
+#: Every pipeline pass by name.  The pipelines fetch passes from here at
+#: run time, so tests (and the fuzzer's injected-bug self-checks) may
+#: monkeypatch an entry and see the change take effect everywhere.
+PASS_REGISTRY: dict = _registry()
+
+#: Passes that may be disabled without structurally breaking a device
+#: kernel.  ``svmlower`` is excluded: without pointer translation a GPU
+#: kernel dereferences CPU virtual addresses and faults by construction.
+DISABLEABLE_PASSES: tuple = tuple(
+    name for name in PASS_REGISTRY if name != "svmlower"
+)
+
+#: Disableable passes whose absence still leaves the kernel runnable on
+#: the GPU path.  ``inline`` flattens callees into the kernel so SVM
+#: lowering sees every dereference, and ``devirt`` removes vtable loads
+#: (vtable pointers are CPU addresses); disabling either is only
+#: observable on the CPU path.
+GPU_SAFE_DISABLE: tuple = tuple(
+    name for name in DISABLEABLE_PASSES if name not in ("inline", "devirt")
+)
+
+
 @dataclass(frozen=True)
 class OptConfig:
     """Which optional optimizations to apply to device kernels.
@@ -32,6 +92,11 @@ class OptConfig:
     ("We plan to lift the last two restrictions"): device-side ``new``
     through an atomic bump allocator in the shared region.  Off by
     default, matching the published system.
+
+    ``disabled`` names pipeline passes (keys of :data:`PASS_REGISTRY`)
+    to skip entirely — the differential-fuzzing oracle compiles one
+    configuration per disabled pass and cross-checks results against the
+    full pipeline.
     """
 
     ptropt: bool = False
@@ -40,6 +105,27 @@ class OptConfig:
     unroll: bool = True
     verify: bool = True
     device_alloc: bool = False
+    disabled: frozenset = frozenset()
+
+    def __post_init__(self):
+        unknown = set(self.disabled) - set(PASS_REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown passes in disabled set: {sorted(unknown)}")
+        # Normalize so configs compare/hash equal regardless of the
+        # iterable the caller passed.
+        object.__setattr__(self, "disabled", frozenset(self.disabled))
+
+    def without_pass(self, name: str) -> "OptConfig":
+        """This configuration with pipeline pass ``name`` switched off."""
+        return OptConfig(
+            ptropt=self.ptropt,
+            l3opt=self.l3opt,
+            classical=self.classical,
+            unroll=self.unroll,
+            verify=self.verify,
+            device_alloc=self.device_alloc,
+            disabled=self.disabled | {name},
+        )
 
     @property
     def label(self) -> str:
@@ -121,47 +207,48 @@ class PassManager:
         return any_change
 
 
+def _resolve(config: OptConfig, module: Module, names) -> list:
+    """Look up enabled passes by name, skipping ``config.disabled``.
+
+    ``inline`` resolves through its factory (it closes over the module)
+    and ``devirt`` gets the module bound as its first argument; both keep
+    a stable ``__name__`` so ``PassManager.stats`` stays readable.
+    """
+    passes = []
+    for name in names:
+        if name in config.disabled:
+            continue
+        fn = PASS_REGISTRY[name]
+        if name == "inline":
+            fn = fn(module)
+        elif name == "devirt":
+            devirt = fn
+
+            def fn(function, _devirt=devirt):
+                return _devirt(module, function)
+
+            fn.__name__ = "expand_virtual_calls"
+        passes.append(fn)
+    return passes
+
+
 def standard_pipeline(
     module: Module,
     function: Function,
     config: OptConfig,
     manager: Optional[PassManager] = None,
 ) -> None:
-    from .constfold import constant_fold
-    from .cse import common_subexpression_elimination
-    from .dce import dead_code_elimination
-    from .inline import make_inliner
-    from .licm import loop_invariant_code_motion
-    from .mem2reg import promote_memory_to_registers
-    from .simplifycfg import simplify_cfg
-    from .tailrec import eliminate_tail_recursion
-
     manager = manager or PassManager(verify=config.verify)
-    manager.run(function, [eliminate_tail_recursion])
-    manager.run(function, [make_inliner(module)])
-    manager.run(function, [promote_memory_to_registers])
+    manager.run(function, _resolve(config, module, ["tailrec"]))
+    manager.run(function, _resolve(config, module, ["inline"]))
+    manager.run(function, _resolve(config, module, ["mem2reg"]))
     if config.classical:
-        manager.run(
-            function,
-            [
-                constant_fold,
-                common_subexpression_elimination,
-                dead_code_elimination,
-                simplify_cfg,
-            ],
-            max_iterations=4,
+        cleanup = _resolve(
+            config, module, ["constfold", "cse", "dce", "simplifycfg"]
         )
-        manager.run(function, [loop_invariant_code_motion])
-        manager.run(
-            function,
-            [
-                constant_fold,
-                common_subexpression_elimination,
-                dead_code_elimination,
-                simplify_cfg,
-            ],
-            max_iterations=2,
-        )
+        manager.run(function, cleanup, max_iterations=4)
+        manager.run(function, _resolve(config, module, ["licm"]))
+        manager.run(function, cleanup, max_iterations=2)
 
 
 def kernel_pipeline(
@@ -178,63 +265,44 @@ def kernel_pipeline(
     SVM-lowering step in a dedicated phase span; pass-level statistics are
     always available through ``manager.stats`` regardless.
     """
-    from .constfold import constant_fold
-    from .cse import common_subexpression_elimination
-    from .dce import dead_code_elimination
-    from .devirt import expand_virtual_calls
-    from .l3opt import reduce_cacheline_contention
-    from .licm import loop_invariant_code_motion
-    from .ptropt import optimize_pointer_translations
-    from .simplifycfg import simplify_cfg
-    from .svmlower import lower_svm_pointers
-    from .unroll import unroll_loops
-
-    from .inline import make_inliner
-
     manager = manager or PassManager(verify=config.verify)
-    manager.run(kernel, [lambda f: expand_virtual_calls(module, f)])
+    manager.run(kernel, _resolve(config, module, ["devirt"]))
     # Devirtualization introduces direct calls to the candidate targets;
     # flatten them into the kernel so SVM lowering sees every dereference.
-    manager.run(kernel, [make_inliner(module)])
+    manager.run(kernel, _resolve(config, module, ["inline"]))
     if config.classical:
         manager.run(
             kernel,
-            [
-                constant_fold,
-                common_subexpression_elimination,
-                dead_code_elimination,
-                simplify_cfg,
-                loop_invariant_code_motion,
-            ],
+            _resolve(
+                config,
+                module,
+                ["constfold", "cse", "dce", "simplifycfg", "licm"],
+            ),
             max_iterations=2,
         )
     if config.l3opt:
-        manager.run(kernel, [reduce_cacheline_contention])
+        manager.run(kernel, _resolve(config, module, ["l3opt"]))
+    svmlower = _resolve(config, module, ["svmlower"])
     if observer is not None:
         with observer.span("svm_lower", "phase", kernel=kernel.name):
-            manager.run(kernel, [lower_svm_pointers])
+            manager.run(kernel, svmlower)
     else:
-        manager.run(kernel, [lower_svm_pointers])
+        manager.run(kernel, svmlower)
     if config.ptropt:
-        manager.run(kernel, [optimize_pointer_translations])
+        manager.run(kernel, _resolve(config, module, ["ptropt"]))
         manager.run(
             kernel,
-            [
-                constant_fold,
-                common_subexpression_elimination,
-                dead_code_elimination,
-                simplify_cfg,
-            ],
+            _resolve(config, module, ["constfold", "cse", "dce", "simplifycfg"]),
             max_iterations=4,
         )
     else:
         # Without PTROPT only trivial cleanup runs; translation arithmetic
         # stays at every dereference, as in the paper's GPU baseline.
-        manager.run(kernel, [dead_code_elimination])
+        manager.run(kernel, _resolve(config, module, ["dce"]))
     if config.classical and config.unroll:
-        manager.run(kernel, [unroll_loops])
+        manager.run(kernel, _resolve(config, module, ["unroll"]))
         manager.run(
             kernel,
-            [constant_fold, dead_code_elimination, simplify_cfg],
+            _resolve(config, module, ["constfold", "dce", "simplifycfg"]),
             max_iterations=2,
         )

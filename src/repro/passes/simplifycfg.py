@@ -1,5 +1,6 @@
-"""CFG simplification: merge straight-line block chains, thread trivial
-jumps, and drop empty forwarding blocks (keeping phi edges consistent)."""
+"""CFG simplification: delete unreachable blocks, merge straight-line
+block chains, thread trivial jumps, and drop empty forwarding blocks
+(keeping phi edges consistent)."""
 
 from __future__ import annotations
 
@@ -10,9 +11,46 @@ def simplify_cfg(function: Function) -> bool:
     if not function.blocks:
         return False
     changed = False
+    changed = remove_unreachable_blocks(function) or changed
     changed = _merge_linear_chains(function) or changed
     changed = _remove_forwarding_blocks(function) or changed
     return changed
+
+
+def remove_unreachable_blocks(function: Function) -> bool:
+    """Delete blocks no path from entry reaches, dropping the phi edges
+    they feed into surviving blocks.
+
+    Branch folding (constfold) can orphan whole subgraphs; a surviving
+    phi that still lists a dead predecessor is invalid (its incoming
+    value no longer dominates any real edge), so the edges must go with
+    the blocks.
+    """
+    reachable = set()
+    work = [function.entry]
+    while work:
+        block = work.pop()
+        if block in reachable:
+            continue
+        reachable.add(block)
+        term = block.terminator
+        if term is not None:
+            work.extend(term.targets)
+    dead = [block for block in function.blocks if block not in reachable]
+    if not dead:
+        return False
+    dead_set = set(dead)
+    for block in function.blocks:
+        if block in dead_set:
+            continue
+        for phi in block.phis():
+            for idx in reversed(range(len(phi.phi_blocks))):
+                if phi.phi_blocks[idx] in dead_set:
+                    del phi.phi_blocks[idx]
+                    del phi.operands[idx]
+    for block in dead:
+        function.remove_block(block)
+    return True
 
 
 def _merge_linear_chains(function: Function) -> bool:

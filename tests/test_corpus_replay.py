@@ -1,0 +1,48 @@
+"""Replay every corpus program through the differential oracles.
+
+``tests/corpus/`` holds two kinds of JSON entries, both in the format the
+fuzzer's ``write_reproducer`` emits (so fuzzer output can be promoted to a
+regression test by copying the file in):
+
+* ``seed-*`` — representative generated programs pinned as regression
+  anchors: source programs covering the frontend feature rotation and IR
+  programs from the random-CFG generator;
+* ``regression-*`` / ``div-*`` — reduced reproducers for bugs the fuzzer
+  actually found; they must stay divergence-free forever.
+
+Source entries run through the reference interpreter AND the threaded-code
+engine on both devices plus every per-pass-disabled pipeline; IR entries
+run through both engines and every single pass with re-verification.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    ir_divergences,
+    load_corpus_entry,
+    source_engine_divergences,
+    source_pass_divergences,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS.glob("*.json"))
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 10, (
+        f"expected at least 10 corpus programs, found {len(ENTRIES)}"
+    )
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    kind, program, doc = load_corpus_entry(path)
+    if kind == "ir":
+        diffs = ir_divergences(program)
+    else:
+        diffs = source_engine_divergences(program)
+        if not diffs:
+            diffs = source_pass_divergences(program)
+    assert not diffs, [str(d) for d in diffs]

@@ -260,3 +260,119 @@ class TestEndToEndSemantics:
         first = results[0]
         for other in results[1:]:
             assert other == first
+
+
+# -- fuzz generators as hypothesis strategies ------------------------------------
+
+
+@st.composite
+def ir_programs(draw):
+    """A random verifier-clean IR function spec from the fuzz generator,
+    driven by a hypothesis-chosen seed (so shrinking walks seeds)."""
+    import random
+
+    from repro.fuzz import generate_ir_program
+
+    seed = draw(st.integers(0, 2**31 - 1))
+    return generate_ir_program(random.Random(seed), seed=seed)
+
+
+@st.composite
+def source_programs(draw):
+    import random
+
+    from repro.fuzz import generate_source_program
+
+    seed = draw(st.integers(0, 2**31 - 1))
+    return generate_source_program(random.Random(seed), seed=seed)
+
+
+class TestIRPassIdempotence:
+    """Running a pass twice must equal running it once: the second
+    application of mem2reg/constfold/dce on generated IR is a no-op."""
+
+    def _idempotent(self, program, pass_fn):
+        from repro.fuzz import build_ir
+        from repro.ir import format_function, verify_function
+
+        _, fn = build_ir(program)
+        pass_fn(fn)
+        verify_function(fn)
+        once = format_function(fn)
+        pass_fn(fn)
+        verify_function(fn)
+        assert format_function(fn) == once
+
+    @given(ir_programs())
+    @SLOW
+    def test_mem2reg_idempotent(self, program):
+        from repro.passes.mem2reg import promote_memory_to_registers
+
+        self._idempotent(program, promote_memory_to_registers)
+
+    @given(ir_programs())
+    @SLOW
+    def test_constfold_idempotent(self, program):
+        self._idempotent(program, constant_fold)
+
+    @given(ir_programs())
+    @SLOW
+    def test_dce_idempotent(self, program):
+        self._idempotent(program, dead_code_elimination)
+
+    @given(ir_programs())
+    @SLOW
+    def test_cse_idempotent(self, program):
+        self._idempotent(program, common_subexpression_elimination)
+
+
+class TestFuzzGeneratorProperties:
+    """The generator contracts the differential oracles rely on."""
+
+    @given(ir_programs())
+    @SLOW
+    def test_generated_ir_verifies_and_engines_agree(self, program):
+        from repro.fuzz import build_ir, run_ir_function
+        from repro.ir import verify_function
+
+        _, fn = build_ir(program)
+        verify_function(fn)  # generator contract: verifier-clean
+        ref = run_ir_function(fn, program, engine="interpreter")
+        com = run_ir_function(fn, program, engine="compiled")
+        assert ref.ok and com.ok  # masked indices / odd divisors: no traps
+        assert ref.outputs == com.outputs
+        assert ref.region_digest == com.region_digest
+
+    @given(ir_programs())
+    @SLOW
+    def test_spec_round_trips_through_json(self, program):
+        import json
+        import re
+
+        from repro.fuzz import IRProgram, build_ir
+        from repro.ir import format_function
+
+        def normalized(fn):
+            # Value names carry a process-global uid counter; rename them
+            # in order of first appearance so only structure is compared.
+            text = format_function(fn)
+            names: dict = {}
+            return re.sub(
+                r"%t\d+",
+                lambda m: names.setdefault(m.group(0), f"%v{len(names)}"),
+                text,
+            )
+
+        doc = json.loads(json.dumps(program.to_dict()))
+        _, original = build_ir(program)
+        _, rebuilt = build_ir(IRProgram.from_dict(doc))
+        assert normalized(rebuilt) == normalized(original)
+
+    @given(source_programs())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_sources_compile_and_run_trap_free(self, program):
+        from repro.fuzz import run_source_program
+
+        outcome = run_source_program(program)
+        assert outcome.ok, outcome.trap

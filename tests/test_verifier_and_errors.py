@@ -173,3 +173,186 @@ class TestPassManager:
         manager = PassManager()
         assert not manager.run(fn, [dead_code_elimination], max_iterations=5)
         assert manager.stats["dead_code_elimination"].runs == 1
+
+
+class TestVerifierGapsFoundByFuzzing:
+    """Checks added after the differential fuzzer produced IR that the
+    verifier accepted but the engines disagreed on (or crashed over)."""
+
+    def _void_fn(self):
+        fn = Function("f", FunctionType(VOID, ()), [])
+        return fn, fn.new_block("entry")
+
+    def test_empty_phi_rejected(self):
+        fn, entry = self._void_fn()
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        b.br(merge)
+        b.position_at_end(merge)
+        b.phi(I32, "ghost")  # no incoming values at all
+        b.ret()
+        with pytest.raises(VerificationError, match="no incoming"):
+            verify_function(fn)
+
+    def test_duplicate_phi_incoming_rejected(self):
+        fn, entry = self._void_fn()
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32, "p")
+        add_phi_incoming(phi, Constant(I32, 1), entry)
+        add_phi_incoming(phi, Constant(I32, 2), entry)  # same pred twice
+        b.ret()
+        with pytest.raises(VerificationError, match="more than once"):
+            verify_function(fn)
+
+    def test_store_size_mismatch_rejected(self):
+        from repro.ir import I64
+
+        fn, entry = self._void_fn()
+        b = IRBuilder(entry)
+        slot = b.alloca(I32, "slot")
+        b.store(Constant(I64, 7), slot)  # 8B store through i32* pointer
+        b.ret()
+        with pytest.raises(VerificationError, match="store of"):
+            verify_function(fn)
+
+    def test_condbr_on_non_integer_rejected(self):
+        from repro.ir.types import F32
+
+        fn, entry = self._void_fn()
+        then = fn.new_block("then")
+        other = fn.new_block("other")
+        b = IRBuilder(entry)
+        b.condbr(Constant(F32, 1.0), then, other)
+        for block in (then, other):
+            b.position_at_end(block)
+            b.ret()
+        with pytest.raises(VerificationError, match="non-integer"):
+            verify_function(fn)
+
+    def test_ret_without_value_in_non_void_rejected(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        instr = IRBuilder(entry).ret()  # void ret, but fn returns i32
+        assert instr.op == "ret"
+        with pytest.raises(VerificationError, match="ret without value"):
+            verify_function(fn)
+
+
+class TestRemoveUnreachableBlocks:
+    """Constant-folding a condbr can orphan whole subgraphs whose blocks
+    still feed phi edges in reachable merge blocks; the fuzzer reduced this
+    to a one-iteration loop under a constant if.  ``simplify_cfg`` (and
+    constfold itself) must drop the dead blocks AND their phi entries."""
+
+    def _diamond_with_dead_side(self):
+        fn = Function("f", FunctionType(I32, ()), [])
+        entry = fn.new_block("entry")
+        then = fn.new_block("then")
+        other = fn.new_block("other")
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        b.condbr(Constant(BOOL, 1), then, other)
+        b.position_at_end(then)
+        b.br(merge)
+        b.position_at_end(other)
+        b.br(merge)
+        b.position_at_end(merge)
+        phi = b.phi(I32, "p")
+        add_phi_incoming(phi, Constant(I32, 1), then)
+        add_phi_incoming(phi, Constant(I32, 2), other)
+        b.ret(phi)
+        return fn, other, phi
+
+    def test_dead_block_and_phi_edge_removed(self):
+        from repro.passes.simplifycfg import remove_unreachable_blocks
+
+        fn, other, phi = self._diamond_with_dead_side()
+        # Make `other` unreachable the way constfold does: rewrite the
+        # entry condbr into an unconditional branch.
+        entry = fn.entry
+        term = entry.terminator
+        entry.remove(term)
+        IRBuilder(entry).br(fn.blocks[1])
+        assert remove_unreachable_blocks(fn)
+        assert other not in fn.blocks
+        assert phi.phi_blocks == [fn.blocks[1]]
+        assert len(phi.operands) == 1
+        verify_function(fn)
+
+    def test_constfold_drops_orphaned_subgraph(self):
+        from repro.passes import constant_fold
+
+        fn, other, phi = self._diamond_with_dead_side()
+        constant_fold(fn)
+        assert other not in fn.blocks
+        verify_function(fn)
+
+    def test_noop_on_fully_reachable_cfg(self):
+        from repro.ir import format_function
+        from repro.passes.simplifycfg import remove_unreachable_blocks
+
+        fn, _, _ = self._diamond_with_dead_side()
+        before = format_function(fn)
+        assert not remove_unreachable_blocks(fn)
+        assert format_function(fn) == before
+
+
+class TestL3OptEarlyExitGuard:
+    """The BTree differential exposed l3opt staggering a search loop with
+    an early ``break``: iteration order is observable there, so any loop
+    with a second exit must be rejected."""
+
+    def _staggerable_loop(self, early_exit: bool):
+        """for (j = 0; j < 64; j++) { t = g[j]; if (early_exit && t == 9) break; }"""
+        from repro.ir import Module
+        from repro.ir.values import GlobalVariable
+
+        module = Module("m")
+        gvar = module.add_global(GlobalVariable("g", I32))
+        fn = Function("k", FunctionType(VOID, (I32,)), ["i"])
+        module.add_function(fn)
+        entry = fn.new_block("entry")
+        header = fn.new_block("header")
+        body = fn.new_block("body")
+        latch = fn.new_block("latch")
+        done = fn.new_block("done")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        j = b.phi(I32, "j")
+        cmp = b.icmp("slt", j, Constant(I32, 64))
+        b.condbr(cmp, body, done)
+        b.position_at_end(body)
+        loaded = b.load(gvar, "t")
+        if early_exit:
+            hit = b.icmp("eq", loaded, Constant(I32, 9))
+            b.condbr(hit, done, latch)
+        else:
+            b.br(latch)
+        b.position_at_end(latch)
+        step = b.add(j, Constant(I32, 1), "j.next")
+        b.br(header)
+        add_phi_incoming(j, Constant(I32, 0), entry)
+        add_phi_incoming(j, step, latch)
+        b.position_at_end(done)
+        b.ret()
+        verify_function(fn)
+        return fn
+
+    def test_single_exit_loop_is_staggered(self):
+        from repro.passes.l3opt import reduce_cacheline_contention
+
+        fn = self._staggerable_loop(early_exit=False)
+        assert reduce_cacheline_contention(fn)
+        assert fn.attributes.get("l3opt_applied") == 1
+        verify_function(fn)
+
+    def test_early_exit_loop_is_rejected(self):
+        from repro.passes.l3opt import reduce_cacheline_contention
+
+        fn = self._staggerable_loop(early_exit=True)
+        assert not reduce_cacheline_contention(fn)
+        assert not fn.attributes.get("l3opt_applied")
