@@ -8,9 +8,16 @@ Usage::
     python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--format json|csv] [--output FILE]
+                                      [--trace FILE.json]
+    python -m repro annotate WORKLOAD [--scale S] [--engine compiled|reference]
+                                      [--system ultrabook|desktop] [--on-cpu]
+                                      [--top N] [--format text|json] [--output FILE]
+    python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check]
+                          [--workloads NAME ...] [--engine compiled|reference]
     python -m repro fuzz [--seed N] [--iterations K]
                          [--target all|frontend|ir|passes|engines]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
+                         [--trace FILE.json]
 
 ``compile`` parses and compiles a MiniC++ translation unit and prints the
 requested artifact for every heterogeneous body class found.  ``run``
@@ -18,7 +25,13 @@ additionally executes a kernel over a zero-initialized body (useful for
 smoke-testing kernels whose body needs no host setup).  ``profile`` runs
 one of the nine registered evaluation workloads under the observability
 layer and emits its per-kernel profile document (JSON by default; see
-``docs/OBSERVABILITY.md`` for the schema).  ``fuzz`` runs a deterministic
+``docs/OBSERVABILITY.md`` for the schema).  ``annotate`` attributes the
+modeled execution cost of a workload to MiniC++ source lines and prints a
+hot-line report; ``bench`` sweeps the evaluation workloads and appends a
+``BENCH_<n>.json`` entry to the benchmark ledger, optionally gating on
+regressions (see ``docs/PROFILING.md``).  ``--trace FILE`` on ``profile``
+and ``fuzz`` additionally writes a Chrome ``trace_event`` file loadable
+in about://tracing or Perfetto.  ``fuzz`` runs a deterministic
 differential-fuzzing campaign (see ``docs/FUZZING.md``), exits non-zero
 on any divergence, and writes reduced reproducers to ``--corpus``.
 """
@@ -79,6 +92,69 @@ def main(argv=None) -> int:
     profile_parser.add_argument(
         "--output", default=None, help="write to FILE instead of stdout"
     )
+    profile_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write a Chrome trace_event JSON file",
+    )
+
+    annotate_parser = sub.add_parser(
+        "annotate", help="attribute modeled cost to source lines"
+    )
+    annotate_parser.add_argument("workload", help="workload name, e.g. bfs")
+    annotate_parser.add_argument("--scale", type=float, default=1.0)
+    annotate_parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default="compiled"
+    )
+    annotate_parser.add_argument(
+        "--system", choices=["ultrabook", "desktop"], default="ultrabook"
+    )
+    annotate_parser.add_argument("--on-cpu", action="store_true")
+    annotate_parser.add_argument("--no-validate", action="store_true")
+    annotate_parser.add_argument(
+        "--top", type=int, default=20, help="lines to show in the text report"
+    )
+    annotate_parser.add_argument("--format", choices=["text", "json"], default="text")
+    annotate_parser.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
+
+    bench_parser = sub.add_parser(
+        "bench", help="sweep workloads into the benchmark ledger"
+    )
+    bench_parser.add_argument("--scale", type=float, default=0.2)
+    bench_parser.add_argument(
+        "--repeats", type=int, default=1, help="keep the best wall clock of N runs"
+    )
+    bench_parser.add_argument(
+        "--engine", choices=["compiled", "reference"], default="compiled"
+    )
+    bench_parser.add_argument(
+        "--system", choices=["ultrabook", "desktop"], default="ultrabook"
+    )
+    bench_parser.add_argument(
+        "--dir", default=".", help="ledger directory (default: current directory)"
+    )
+    bench_parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="subset of workloads (default: the paper's nine)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on a normalized-throughput regression vs the "
+        "last ledger entry",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression threshold as a fraction (default 0.15)",
+    )
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="run a differential fuzzing campaign"
@@ -107,10 +183,20 @@ def main(argv=None) -> int:
         default=5,
         help="stop the campaign after this many divergences",
     )
+    fuzz_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="also write a Chrome trace_event JSON file",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "annotate":
+        return _annotate(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
     try:
@@ -185,13 +271,16 @@ def _profile(args) -> int:
     import json
 
     from .obs import (
+        Observer,
         ProfileSchemaError,
         profile_to_csv,
         profile_workload,
         validate_profile,
+        write_trace,
     )
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
+    observer = Observer()
     try:
         doc = profile_workload(
             args.workload,
@@ -200,6 +289,7 @@ def _profile(args) -> int:
             engine=args.engine,
             on_cpu=args.on_cpu,
             validate=not args.no_validate,
+            observer=observer,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -209,6 +299,9 @@ def _profile(args) -> int:
     except ProfileSchemaError as exc:
         print(f"error: emitted profile failed validation: {exc}", file=sys.stderr)
         return 1
+    if args.trace:
+        write_trace(observer, args.trace, meta=doc["meta"])
+        print(f"trace: {args.trace}", file=sys.stderr)
     if args.format == "csv":
         rendered = profile_to_csv(doc)
     else:
@@ -224,6 +317,104 @@ def _profile(args) -> int:
         )
     else:
         sys.stdout.write(rendered)
+    return 0
+
+
+def _annotate(args) -> int:
+    import json
+
+    from .obs import annotate_workload, render_line_report
+
+    system = ultrabook() if args.system == "ultrabook" else desktop()
+    try:
+        doc = annotate_workload(
+            args.workload,
+            scale=args.scale,
+            system=system,
+            engine=args.engine,
+            on_cpu=args.on_cpu,
+            validate=not args.no_validate,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        rendered = json.dumps(doc, indent=2) + "\n"
+    else:
+        rendered = render_line_report(doc, top=args.top) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        totals = doc["totals"]
+        print(
+            f"{doc['meta']['workload']}: {totals['attributed_fraction']:.1%} of "
+            f"{totals['units']:,.0f} modeled units attributed -> {args.output}"
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 0
+
+
+def _bench(args) -> int:
+    from .eval.runner import WORKLOAD_ORDER
+    from .obs.ledger import (
+        REGRESSION_THRESHOLD,
+        diff_ledgers,
+        format_diff,
+        geomean_delta,
+        load_latest,
+        regressions,
+        run_benchmarks,
+        write_entry,
+    )
+
+    if args.workloads:
+        unknown = sorted(set(args.workloads) - set(WORKLOAD_ORDER))
+        if unknown:
+            print(
+                f"error: unknown workload(s) {unknown}; "
+                f"available: {sorted(WORKLOAD_ORDER)}",
+                file=sys.stderr,
+            )
+            return 1
+    system = ultrabook() if args.system == "ultrabook" else desktop()
+    threshold = args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
+    previous = load_latest(args.dir)
+    doc = run_benchmarks(
+        scale=args.scale,
+        repeats=args.repeats,
+        system=system,
+        engine=args.engine,
+        workloads=args.workloads,
+        progress=lambda line: print(line, flush=True),
+    )
+    path = write_entry(doc, args.dir)
+    print(f"ledger entry: {path}")
+    if previous is None:
+        print("no previous ledger entry; nothing to diff against")
+        return 0
+    diffs = diff_ledgers(previous, doc)
+    if diffs:
+        print(format_diff(diffs, threshold))
+    # Individual cells are noisy at smoke scales; the gate judges the
+    # geomean across all comparable cells (a real regression moves them
+    # all), with per-cell drops surfaced above as warnings.
+    failing = regressions(diffs, threshold)
+    if failing:
+        print(
+            f"warning: {len(failing)} cell(s) dropped more than "
+            f"{threshold:.0%} in normalized kernel throughput",
+            file=sys.stderr,
+        )
+    overall = geomean_delta(diffs)
+    if overall < -threshold:
+        print(
+            f"error: normalized kernel throughput regressed "
+            f"{overall:+.1%} geomean (threshold -{threshold:.0%})",
+            file=sys.stderr,
+        )
+        if args.check:
+            return 1
     return 0
 
 
@@ -243,6 +434,15 @@ def _fuzz(args) -> int:
     )
     report = driver.run(progress=lambda line: print(line, flush=True))
     print(report.summary())
+    if args.trace:
+        from .obs import write_trace
+
+        write_trace(
+            observer,
+            args.trace,
+            meta={"command": "fuzz", "seed": args.seed, "target": args.target},
+        )
+        print(f"trace: {args.trace}")
     counters = observer.counters
     detail = ", ".join(
         f"{name}={int(counters.get(name))}"

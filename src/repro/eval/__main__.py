@@ -8,6 +8,11 @@ Usage::
     python -m repro.eval fig8 | fig9 | fig10
     python -m repro.eval svm
     python -m repro.eval all
+    python -m repro.eval fig7 --trace eval-trace.json
+
+``--trace FILE`` attaches an observer to every measurement the chosen
+experiment performs and writes a Chrome ``trace_event`` file at the end
+(load it in about://tracing or Perfetto).
 """
 
 from __future__ import annotations
@@ -32,7 +37,21 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.eval")
     parser.add_argument("experiment", choices=EXPERIMENTS)
     parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome trace_event JSON file of every measurement",
+    )
     args = parser.parse_args(argv)
+
+    observer = None
+    if args.trace:
+        from ..obs import Observer
+        from .runner import set_default_observer
+
+        observer = Observer()
+        set_default_observer(observer)
 
     chosen = EXPERIMENTS[:-2] if args.experiment == "all" else (args.experiment,)
     for experiment in chosen:
@@ -55,6 +74,17 @@ def main(argv=None) -> int:
 
             print(generate_report(args.scale))
         print()
+    if observer is not None:
+        from ..obs import write_trace
+        from .runner import set_default_observer
+
+        set_default_observer(None)
+        write_trace(
+            observer,
+            args.trace,
+            meta={"command": "eval", "experiment": args.experiment, "scale": args.scale},
+        )
+        print(f"trace: {args.trace}")
     return 0
 
 

@@ -55,6 +55,18 @@ class Measurement:
 
 _CACHE: dict[tuple, Measurement] = {}
 
+#: observer attached to every measurement when no explicit one is passed
+#: (``python -m repro.eval --trace`` routes through this)
+_DEFAULT_OBSERVER = None
+
+
+def set_default_observer(observer) -> None:
+    """Attach ``observer`` (or ``None`` to detach) to all subsequent
+    measurements that do not pass their own.  Observed measurements
+    bypass the cache, so the observer sees complete executions."""
+    global _DEFAULT_OBSERVER
+    _DEFAULT_OBSERVER = observer
+
 
 def measure_workload(
     workload_cls: type[Workload],
@@ -68,6 +80,8 @@ def measure_workload(
     opts into span/counter/profile collection for every run the
     measurement performs; observed calls bypass the in-process cache so
     the observer always sees a complete execution."""
+    if observer is None:
+        observer = _DEFAULT_OBSERVER
     key = (workload_cls.__name__, system.name, round(scale, 4), engine)
     cached = _CACHE.get(key)
     if cached is not None and observer is None:

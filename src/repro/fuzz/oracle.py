@@ -115,9 +115,11 @@ def run_source_program(
     device: str = "gpu",
     keep_traces: bool = False,
     compiled=None,
+    observer=None,
 ) -> Outcome:
     """Compile (unless ``compiled`` is passed) and execute one generated
-    program, returning the full observable outcome."""
+    program, returning the full observable outcome.  ``observer`` (a
+    ``repro.obs.Observer``) opts the run into span/counter collection."""
     from ..ir.types import F32, I32
     from ..runtime import ConcordRuntime, compile_source, ultrabook
 
@@ -135,6 +137,7 @@ def run_source_program(
             region_size=FUZZ_REGION_SIZE,
             engine=engine,
             keep_traces=keep_traces,
+            observer=observer,
         )
         data = rt.new_array(I32, program.n)
         data.fill_from(program.data)

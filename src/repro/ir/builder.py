@@ -29,9 +29,15 @@ class IRBuilder:
 
     def __init__(self, block: Optional[BasicBlock] = None):
         self.block = block
+        #: current source location, stamped onto every emitted instruction
+        #: (tuple of (line, col) frames, innermost first; None = unknown)
+        self.loc: Optional[tuple] = None
 
     def position_at_end(self, block: BasicBlock) -> None:
         self.block = block
+
+    def set_loc(self, line: int, col: int = 0) -> None:
+        self.loc = ((line, col),) if line else None
 
     # -- core emission -----------------------------------------------------
 
@@ -40,6 +46,8 @@ class IRBuilder:
         assert self.block.terminator is None, (
             f"emitting {instr.op} after terminator in {self.block.name}"
         )
+        if instr.loc is None:
+            instr.loc = self.loc
         return self.block.append(instr)
 
     def binop(self, op: str, lhs: Value, rhs: Value, name: str = "") -> Instruction:
@@ -119,6 +127,7 @@ class IRBuilder:
     def phi(self, type_: Type, name: str = "") -> Instruction:
         assert self.block is not None
         instr = Instruction("phi", type_, [], name)
+        instr.loc = self.loc
         return self.block.insert(self.block.first_non_phi_index(), instr)
 
     # -- terminators ---------------------------------------------------------

@@ -166,6 +166,7 @@ class Instruction(Value):
         "vclass",
         "uid",
         "annotations",
+        "loc",
     )
 
     def __init__(self, op: str, type_: Type, operands: list[Value], name: str = ""):
@@ -185,6 +186,10 @@ class Instruction(Value):
         self.vclass = None  # vcall: static class (sema ClassInfo)
         self.uid = next(Instruction._ids)
         self.annotations: dict = {}
+        # Source location: tuple of (line, col) frames, innermost first.
+        # Inlining appends the call site's frames, so an instruction carries
+        # its whole call chain (the LLVM debug-info "inlinedAt" shape).
+        self.loc: Optional[tuple] = None
 
     # -- structural helpers ----------------------------------------------
 
@@ -343,6 +348,9 @@ class Module:
 
     def __init__(self, name: str = "module"):
         self.name = name
+        #: original source text when lowered from MiniC++ (line profiler
+        #: uses it to print source excerpts); empty for hand-built IR.
+        self.source_text: str = ""
         self.functions: dict[str, Function] = {}
         self.globals: dict[str, GlobalVariable] = {}
         self.structs: dict[str, Type] = {}

@@ -24,9 +24,15 @@ def verify_module(module: Module) -> None:
             verify_function(function)
 
 
+#: ops that must keep ``loc`` metadata in functions lowered from source
+#: (``attributes["source_locs"]``) — the profiler's attribution anchors.
+_LOC_REQUIRED_OPS = frozenset({"load", "store", "call", "vcall"})
+
+
 def verify_function(function: Function) -> None:
     blocks = set(function.blocks)
     defined: set[Instruction] = set()
+    has_locs = bool(function.attributes.get("source_locs"))
     for block in function.blocks:
         if block.terminator is None:
             raise VerificationError(
@@ -50,6 +56,11 @@ def verify_function(function: Function) -> None:
                         f"{target.name}"
                     )
             _check_types(function, instr)
+            if has_locs and instr.op in _LOC_REQUIRED_OPS and instr.loc is None:
+                raise VerificationError(
+                    f"{function.name}: {instr.op} in {block.name} lost its "
+                    f"source location (function is marked source_locs)"
+                )
             defined.add(instr)
 
     preds = function.compute_preds()

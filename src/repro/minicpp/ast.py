@@ -14,6 +14,7 @@ from typing import Optional
 @dataclass
 class Node:
     line: int = 0
+    col: int = 0
 
 
 # -- type references ----------------------------------------------------------

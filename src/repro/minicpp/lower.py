@@ -321,6 +321,10 @@ class FunctionLowerer:
     def lower(self, ctor_initializers=None) -> None:
         entry = self.fn.new_block("entry")
         self.builder.position_at_end(entry)
+        # Prologue (argument spills, vtable install) is charged to the
+        # declaration line; statements re-stamp as they lower.
+        self.builder.set_loc(self.decl.line, self.decl.col)
+        self.fn.attributes["source_locs"] = True
         arg_iter = iter(self.fn.args)
         if self.fn.attributes.get("sret"):
             self.sret_arg = next(arg_iter)
@@ -405,6 +409,8 @@ class FunctionLowerer:
         self.locals = saved
 
     def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if stmt.line:
+            self.builder.set_loc(stmt.line, stmt.col)
         if isinstance(stmt, ast.Block):
             self.lower_block(stmt)
         elif isinstance(stmt, ast.ExprStmt):
@@ -585,7 +591,16 @@ class FunctionLowerer:
         method = getattr(self, f"_lower_{type(expr).__name__}", None)
         if method is None:
             raise LowerError(f"unhandled expression {type(expr).__name__}")
-        result = method(expr, want_lvalue)
+        # Charge instructions to the innermost expression being lowered;
+        # restore the parent's location afterwards so an operator's own
+        # instructions are stamped with the operator, not its last operand.
+        saved = self.builder.loc
+        if expr.line:
+            self.builder.set_loc(expr.line, expr.col)
+        try:
+            result = method(expr, want_lvalue)
+        finally:
+            self.builder.loc = saved if saved is not None else self.builder.loc
         if result is None and not allow_void:
             raise LowerError(
                 f"line {expr.line}: void value used in an expression"

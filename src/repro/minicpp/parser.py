@@ -463,8 +463,9 @@ class Parser:
 
     def _parse_block(self) -> ast.Block:
         line = self.current.line
+        col = self.current.column
         self.expect("op", "{")
-        block = ast.Block(line=line)
+        block = ast.Block(line=line, col=col)
         while not self.check("op", "}"):
             block.statements.append(self._parse_statement())
         self.expect("op", "}")
@@ -472,6 +473,7 @@ class Parser:
 
     def _parse_statement(self) -> ast.Stmt:
         line = self.current.line
+        col = self.current.column
         if self.check("op", "{"):
             return self._parse_block()
         if self.accept("keyword", "if"):
@@ -482,13 +484,13 @@ class Parser:
             otherwise = None
             if self.accept("keyword", "else"):
                 otherwise = self._parse_statement()
-            return ast.If(line=line, cond=cond, then=then, otherwise=otherwise)
+            return ast.If(line=line, col=col, cond=cond, then=then, otherwise=otherwise)
         if self.accept("keyword", "while"):
             self.expect("op", "(")
             cond = self._parse_expression()
             self.expect("op", ")")
             body = self._parse_statement()
-            return ast.While(line=line, cond=cond, body=body)
+            return ast.While(line=line, col=col, cond=cond, body=body)
         if self.accept("keyword", "do"):
             body = self._parse_statement()
             self.expect("keyword", "while")
@@ -496,7 +498,7 @@ class Parser:
             cond = self._parse_expression()
             self.expect("op", ")")
             self.expect("op", ";")
-            return ast.DoWhile(line=line, body=body, cond=cond)
+            return ast.DoWhile(line=line, col=col, body=body, cond=cond)
         if self.accept("keyword", "for"):
             self.expect("op", "(")
             init: Optional[ast.Stmt] = None
@@ -513,24 +515,25 @@ class Parser:
                 step = self._parse_expression()
             self.expect("op", ")")
             body = self._parse_statement()
-            return ast.For(line=line, init=init, cond=cond, step=step, body=body)
+            return ast.For(line=line, col=col, init=init, cond=cond, step=step, body=body)
         if self.accept("keyword", "return"):
             value = None
             if not self.check("op", ";"):
                 value = self._parse_expression()
             self.expect("op", ";")
-            return ast.Return(line=line, value=value)
+            return ast.Return(line=line, col=col, value=value)
         if self.accept("keyword", "break"):
             self.expect("op", ";")
-            return ast.Break(line=line)
+            return ast.Break(line=line, col=col)
         if self.accept("keyword", "continue"):
             self.expect("op", ";")
-            return ast.Continue(line=line)
+            return ast.Continue(line=line, col=col)
         return self._parse_simple_statement()
 
     def _parse_simple_statement(self) -> ast.Stmt:
         """A declaration or expression statement, consuming the ';'."""
         line = self.current.line
+        col = self.current.column
         if self._declaration_ahead():
             type_ref = self._parse_type()
             name = self.expect("ident").text
@@ -552,6 +555,7 @@ class Parser:
             self.expect("op", ";")
             return ast.VarDecl(
                 line=line,
+                col=col,
                 type=type_ref,
                 name=name,
                 init=init,
@@ -560,7 +564,7 @@ class Parser:
             )
         expr = self._parse_expression()
         self.expect("op", ";")
-        return ast.ExprStmt(line=line, expr=expr)
+        return ast.ExprStmt(line=line, col=col, expr=expr)
 
     def _declaration_ahead(self) -> bool:
         if not self._looks_like_type():
@@ -613,17 +617,19 @@ class Parser:
         if token.kind == "op" and token.text in _ASSIGN_OPS:
             self.advance()
             value = self._parse_assignment()
-            return ast.Assign(line=token.line, op=token.text, target=target, value=value)
+            return ast.Assign(line=token.line, col=token.column, op=token.text, target=target, value=value)
         return target
 
     def _parse_conditional(self) -> ast.Expr:
         cond = self._parse_binary(0)
         if self.check("op", "?"):
-            line = self.advance().line
+            token = self.advance()
             then = self._parse_expression()
             self.expect("op", ":")
             otherwise = self._parse_conditional()
-            return ast.Conditional(line=line, cond=cond, then=then, otherwise=otherwise)
+            return ast.Conditional(
+                line=token.line, col=token.column, cond=cond, then=then, otherwise=otherwise
+            )
         return cond
 
     _PRECEDENCE = [
@@ -647,7 +653,7 @@ class Parser:
         while self.current.kind == "op" and self.current.text in ops:
             token = self.advance()
             rhs = self._parse_binary(level + 1)
-            lhs = ast.Binary(line=token.line, op=token.text, lhs=lhs, rhs=rhs)
+            lhs = ast.Binary(line=token.line, col=token.column, op=token.text, lhs=lhs, rhs=rhs)
         return lhs
 
     def _parse_unary(self) -> ast.Expr:
@@ -655,11 +661,11 @@ class Parser:
         if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
             self.advance()
             operand = self._parse_unary()
-            return ast.Unary(line=token.line, op=token.text, operand=operand)
+            return ast.Unary(line=token.line, col=token.column, op=token.text, operand=operand)
         if token.kind == "op" and token.text in ("++", "--"):
             self.advance()
             operand = self._parse_unary()
-            return ast.Unary(line=token.line, op=token.text + "pre", operand=operand)
+            return ast.Unary(line=token.line, col=token.column, op=token.text + "pre", operand=operand)
         if token.kind == "op" and token.text == "(":
             # Cast or parenthesized expression.
             save = self.pos
@@ -675,7 +681,7 @@ class Parser:
                     ):
                         self.expect("op", ")")
                         operand = self._parse_unary()
-                        return ast.Cast(line=token.line, type=type_ref, operand=operand)
+                        return ast.Cast(line=token.line, col=token.column, type=type_ref, operand=operand)
                 except ParseError:
                     pass
             self.pos = save
@@ -694,7 +700,7 @@ class Parser:
                         ctor_args.append(self._parse_expression())
                 self.expect("op", ")")
             return ast.NewExpr(
-                line=token.line, type=type_ref, array_size=array_size, ctor_args=ctor_args
+                line=token.line, col=token.column, type=type_ref, array_size=array_size, ctor_args=ctor_args
             )
         if token.kind == "keyword" and token.text == "delete":
             self.advance()
@@ -703,13 +709,13 @@ class Parser:
                 self.expect("op", "]")
                 is_array = True
             operand = self._parse_unary()
-            return ast.DeleteExpr(line=token.line, operand=operand, is_array=is_array)
+            return ast.DeleteExpr(line=token.line, col=token.column, operand=operand, is_array=is_array)
         if token.kind == "keyword" and token.text == "sizeof":
             self.advance()
             self.expect("op", "(")
             type_ref = self._parse_type()
             self.expect("op", ")")
-            return ast.SizeofExpr(line=token.line, type=type_ref)
+            return ast.SizeofExpr(line=token.line, col=token.column, type=type_ref)
         if token.kind == "keyword" and token.text == "static_cast":
             self.advance()
             self.expect("op", "<")
@@ -718,7 +724,7 @@ class Parser:
             self.expect("op", "(")
             operand = self._parse_expression()
             self.expect("op", ")")
-            return ast.Cast(line=token.line, type=type_ref, operand=operand)
+            return ast.Cast(line=token.line, col=token.column, type=type_ref, operand=operand)
         return self._parse_postfix()
 
     def _parse_postfix(self) -> ast.Expr:
@@ -730,32 +736,32 @@ class Parser:
                 if self.check("op", "(") :
                     args = self._parse_call_args()
                     expr = ast.MethodCall(
-                        line=token.line, receiver=expr, method=member, args=args, arrow=False
+                        line=token.line, col=token.column, receiver=expr, method=member, args=args, arrow=False
                     )
                 else:
-                    expr = ast.Member(line=token.line, receiver=expr, member=member, arrow=False)
+                    expr = ast.Member(line=token.line, col=token.column, receiver=expr, member=member, arrow=False)
             elif self.accept("op", "->"):
                 member = self._member_name()
                 if self.check("op", "("):
                     args = self._parse_call_args()
                     expr = ast.MethodCall(
-                        line=token.line, receiver=expr, method=member, args=args, arrow=True
+                        line=token.line, col=token.column, receiver=expr, method=member, args=args, arrow=True
                     )
                 else:
-                    expr = ast.Member(line=token.line, receiver=expr, member=member, arrow=True)
+                    expr = ast.Member(line=token.line, col=token.column, receiver=expr, member=member, arrow=True)
             elif self.accept("op", "["):
                 index = self._parse_expression()
                 self.expect("op", "]")
-                expr = ast.Index(line=token.line, base=expr, index=index)
+                expr = ast.Index(line=token.line, col=token.column, base=expr, index=index)
             elif self.check("op", "(") and not isinstance(expr, ast.Name):
                 args = self._parse_call_args()
-                expr = ast.CallOperator(line=token.line, receiver=expr, args=args)
+                expr = ast.CallOperator(line=token.line, col=token.column, receiver=expr, args=args)
             elif self.check("op", "(") and isinstance(expr, ast.Name):
                 args = self._parse_call_args()
-                expr = ast.Call(line=token.line, name=expr, args=args)
+                expr = ast.Call(line=token.line, col=token.column, name=expr, args=args)
             elif token.kind == "op" and token.text in ("++", "--"):
                 self.advance()
-                expr = ast.Unary(line=token.line, op="post" + token.text, operand=expr)
+                expr = ast.Unary(line=token.line, col=token.column, op="post" + token.text, operand=expr)
             else:
                 break
         return expr
@@ -779,29 +785,29 @@ class Parser:
         token = self.current
         if token.kind == "int":
             self.advance()
-            return ast.IntLiteral(line=token.line, value=token.value)
+            return ast.IntLiteral(line=token.line, col=token.column, value=token.value)
         if token.kind == "float":
             self.advance()
             return ast.FloatLiteral(
-                line=token.line, value=token.value, is_double=not token.text.endswith("f")
+                line=token.line, col=token.column, value=token.value, is_double=not token.text.endswith("f")
             )
         if token.kind == "char":
             self.advance()
-            return ast.CharLiteral(line=token.line, value=token.value)
+            return ast.CharLiteral(line=token.line, col=token.column, value=token.value)
         if token.kind == "keyword" and token.text in ("true", "false"):
             self.advance()
-            return ast.BoolLiteral(line=token.line, value=token.text == "true")
+            return ast.BoolLiteral(line=token.line, col=token.column, value=token.text == "true")
         if token.kind == "keyword" and token.text == "this":
             self.advance()
-            return ast.ThisExpr(line=token.line)
+            return ast.ThisExpr(line=token.line, col=token.column)
         if token.kind == "ident":
             parts = [self.advance().text]
             while self.check("op", "::"):
                 self.advance()
                 parts.append(self.expect("ident").text)
             if parts == ["NULL"] or parts == ["nullptr"]:
-                return ast.NullLiteral(line=token.line)
-            return ast.Name(line=token.line, parts=parts)
+                return ast.NullLiteral(line=token.line, col=token.column)
+            return ast.Name(line=token.line, col=token.column, parts=parts)
         if self.accept("op", "("):
             expr = self._parse_expression()
             self.expect("op", ")")

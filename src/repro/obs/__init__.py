@@ -18,9 +18,32 @@ command line.  The contract (span/counter names, JSON schema) is
 documented in ``docs/OBSERVABILITY.md``; :func:`validate_profile` enforces
 it.  Everything is opt-in: without an observer, the runtime and engines
 run their original code paths untouched.
+
+Built on top of the observer:
+
+* :mod:`repro.obs.lines` — source-line attribution of modeled cost
+  (``python -m repro annotate``);
+* :mod:`repro.obs.trace` — Chrome ``trace_event`` export (``--trace``);
+* :mod:`repro.obs.ledger` — persisted benchmark ledger and regression
+  gate (``python -m repro bench``).
+
+See ``docs/PROFILING.md``.
 """
 
 from .core import CounterRegistry, Observer, Span
+from .ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+    diff_ledgers,
+    run_benchmarks,
+    validate_ledger,
+)
+from .lines import (
+    LINES_SCHEMA_VERSION,
+    annotate_workload,
+    build_line_report,
+    render_line_report,
+)
 from .profile import (
     PHASES,
     PROFILE_SCHEMA_VERSION,
@@ -31,19 +54,40 @@ from .profile import (
     profile_workload,
 )
 from .schema import PROFILE_SCHEMA, ProfileSchemaError, validate_profile
+from .trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceSchemaError,
+    build_trace,
+    validate_trace,
+    write_trace,
+)
 
 __all__ = [
     "CounterRegistry",
     "ConstructProfile",
     "KernelProfile",
+    "LEDGER_SCHEMA_VERSION",
+    "LINES_SCHEMA_VERSION",
+    "LedgerSchemaError",
     "Observer",
     "PHASES",
     "PROFILE_SCHEMA",
     "PROFILE_SCHEMA_VERSION",
     "ProfileSchemaError",
     "Span",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSchemaError",
+    "annotate_workload",
+    "build_line_report",
     "build_profile",
+    "build_trace",
+    "diff_ledgers",
     "profile_to_csv",
     "profile_workload",
+    "render_line_report",
+    "run_benchmarks",
+    "validate_ledger",
     "validate_profile",
+    "validate_trace",
+    "write_trace",
 ]

@@ -86,6 +86,9 @@ class Span:
     category: str = ""
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: wall-clock start relative to the observer's epoch (first clock
+    #: reading); lets exporters lay spans on an absolute timeline.
+    start_seconds: float = 0.0
     attrs: dict = field(default_factory=dict)
     children: list = field(default_factory=list)
 
@@ -100,6 +103,7 @@ class Span:
             "category": self.category,
             "wall_seconds": self.wall_seconds,
             "sim_seconds": self.sim_seconds,
+            "start_seconds": self.start_seconds,
         }
         if self.attrs:
             out["attrs"] = dict(self.attrs)
@@ -126,13 +130,18 @@ class _SpanContext:
     def __enter__(self) -> Span:
         self.observer._stack.append(self.span)
         self._start = self.observer._clock()
+        if not self.span.start_seconds:
+            self.span.start_seconds = self._start - self.observer._epoch
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.span.wall_seconds += self.observer._clock() - self._start
+        elapsed = self.observer._clock() - self._start
+        self.span.wall_seconds += elapsed
         stack = self.observer._stack
         if stack and stack[-1] is self.span:
             stack.pop()
+        # Self-accounting: how much wall time the observer itself brackets.
+        self.observer.counters.add("obs.span_ns", elapsed * 1e9)
         return False
 
 
@@ -147,6 +156,8 @@ class Observer:
 
     def __init__(self, clock=time.perf_counter):
         self._clock = clock
+        #: epoch for span start times — everything is relative to this
+        self._epoch = clock()
         self.counters = CounterRegistry()
         self.root = Span(name="session", category="session")
         self._stack: list[Span] = [self.root]
@@ -156,6 +167,10 @@ class Observer:
         self.kernels: dict[str, KernelProfile] = {}
         #: compiler pass statistics (name, runs, changed, seconds)
         self.pass_stats: list[dict] = []
+        #: per-launch (kernel IR function, device, merged block counts)
+        #: samples for post-hoc source-line attribution — see
+        #: :mod:`repro.obs.lines`.
+        self.line_samples: list = []
 
     # -- spans -----------------------------------------------------------
 
@@ -217,6 +232,17 @@ class Observer:
             )
         profile.absorb(record)
         return record
+
+    def record_kernel_trace(self, kernel, device: str, block_counts: dict) -> None:
+        """Keep one launch's executed-block histogram for line attribution.
+
+        ``kernel`` is the IR :class:`~repro.ir.values.Function` that ran
+        (its module is kept alive through it); ``block_counts`` maps block
+        uid -> times executed, merged across all work items of the launch.
+        Attribution happens lazily in :mod:`repro.obs.lines` — recording is
+        a single append, so observed runs stay cheap.
+        """
+        self.line_samples.append((kernel, device, block_counts))
 
     # -- pass pipeline ----------------------------------------------------
 

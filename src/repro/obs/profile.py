@@ -140,6 +140,7 @@ def profile_workload(
     engine: str = "compiled",
     on_cpu: bool = False,
     validate: bool = True,
+    observer=None,
 ) -> dict:
     """Compile, build, run and validate one workload under an observer and
     return its profile document.
@@ -161,7 +162,7 @@ def profile_workload(
             f"unknown workload {name!r}; available: {sorted(workloads)}"
         )
     system = system or ultrabook()
-    observer = Observer()
+    observer = observer if observer is not None else Observer()
     workload = workloads[key]()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")

@@ -1,0 +1,216 @@
+"""Chrome ``trace_event`` export for an :class:`~repro.obs.core.Observer`.
+
+Emits the JSON object form of the Trace Event Format (the one
+``about://tracing`` and Perfetto load directly): ``traceEvents`` plus
+``displayTimeUnit``/``otherData``.  Two threads of one process:
+
+* **tid 0 — host (wall clock)**: every observer span as a complete
+  ("X") event, positioned by its epoch-relative start time.  Nesting
+  emerges from containment, exactly how Chrome renders same-tid stacks.
+* **tid 1 — device (simulated)**: the per-construct simulated timeline.
+  Simulated seconds have no wall-clock anchor, so constructs are laid
+  out sequentially from zero, each with its attributed phases (jit,
+  launch, reduce_tree, host_join) as nested events and its engine
+  counters as a counter ("C") sample.
+
+The document carries ``schema: repro.obs.trace/v1`` at top level (Chrome
+ignores unknown keys) and :func:`validate_trace` is the dependency-free
+structural check used by tests and the CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+TRACE_SCHEMA_VERSION = "repro.obs.trace/v1"
+
+#: counter series sampled per construct onto the device timeline
+COUNTER_SERIES = (
+    "engine.instructions",
+    "engine.translations",
+    "mem_events.kept",
+)
+
+
+class TraceSchemaError(ValueError):
+    """A trace document does not match the published schema."""
+
+
+def _span_events(span, depth: int) -> list:
+    events = [
+        {
+            "name": span.name,
+            "cat": span.category or "span",
+            "ph": "X",
+            "pid": 0,
+            "tid": 0,
+            "ts": span.start_seconds * 1e6,
+            "dur": span.wall_seconds * 1e6,
+            "args": dict(span.attrs, sim_seconds=span.sim_seconds),
+        }
+    ]
+    for child in span.children:
+        events.extend(_span_events(child, depth + 1))
+    return events
+
+
+def _construct_events(constructs) -> list:
+    events = []
+    cursor = 0.0
+    for record in constructs:
+        start = cursor
+        dur = record.seconds * 1e6
+        events.append(
+            {
+                "name": f"{record.kernel} [{record.construct}]",
+                "cat": "construct",
+                "ph": "X",
+                "pid": 0,
+                "tid": 1,
+                "ts": start,
+                "dur": dur,
+                "args": {
+                    "device": record.device,
+                    "n": record.n,
+                    "energy_joules": record.energy_joules,
+                },
+            }
+        )
+        phase_cursor = start
+        for phase, seconds in record.phases.items():
+            events.append(
+                {
+                    "name": phase,
+                    "cat": "phase",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": 1,
+                    "ts": phase_cursor,
+                    "dur": seconds * 1e6,
+                    "args": {},
+                }
+            )
+            phase_cursor += seconds * 1e6
+        series = {
+            name: record.counters[name]
+            for name in COUNTER_SERIES
+            if name in record.counters
+        }
+        if series:
+            events.append(
+                {
+                    "name": "engine",
+                    "cat": "counters",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 1,
+                    "ts": start + dur,
+                    "args": series,
+                }
+            )
+        cursor = start + dur
+    return events
+
+
+def build_trace(observer, meta: Optional[dict] = None) -> dict:
+    """Assemble the Chrome-loadable trace document from an observer."""
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro simulator"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "host (wall clock)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 1,
+            "args": {"name": "device (simulated)"},
+        },
+    ]
+    for child in observer.root.children:
+        events.extend(_span_events(child, 0))
+    events.extend(_construct_events(observer.constructs))
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_trace(observer, path: str, meta: Optional[dict] = None) -> dict:
+    """Build, validate and write a trace document; returns it."""
+    import json
+
+    doc = build_trace(observer, meta)
+    validate_trace(doc)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+    return doc
+
+
+_NUMBER = (int, float)
+_PHASES = ("X", "C", "M")
+
+
+def _fail(errors, path, message) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def validate_trace(doc) -> None:
+    """Structural validation; raises :class:`TraceSchemaError` listing
+    every problem.  Checks what Chrome actually needs to load the file:
+    the JSON object form, and for each event a name, a known phase, and
+    non-negative microsecond timestamps/durations."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        raise TraceSchemaError("trace document must be a JSON object")
+    if doc.get("schema") != TRACE_SCHEMA_VERSION:
+        _fail(
+            errors,
+            "schema",
+            f"expected {TRACE_SCHEMA_VERSION!r}, got {doc.get('schema')!r}",
+        )
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        _fail(errors, "traceEvents", "missing or not an array")
+        events = []
+    if not isinstance(doc.get("otherData"), dict):
+        _fail(errors, "otherData", "missing or not an object")
+    for index, event in enumerate(events):
+        path = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            _fail(errors, path, "expected an object")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            _fail(errors, f"{path}.name", "missing or not a non-empty string")
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            _fail(errors, f"{path}.ph", f"{ph!r} not one of {list(_PHASES)}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                _fail(errors, f"{path}.{key}", "missing or not an integer")
+        if "args" in event and not isinstance(event["args"], dict):
+            _fail(errors, f"{path}.args", "not an object")
+        if ph in ("X", "C"):
+            ts = event.get("ts")
+            if not isinstance(ts, _NUMBER) or isinstance(ts, bool) or ts < 0:
+                _fail(errors, f"{path}.ts", "missing or negative")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, _NUMBER) or isinstance(dur, bool) or dur < 0:
+                _fail(errors, f"{path}.dur", "missing or negative")
+    if errors:
+        raise TraceSchemaError(
+            "trace does not match schema:\n  " + "\n  ".join(errors)
+        )

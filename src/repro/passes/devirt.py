@@ -78,6 +78,8 @@ def _expand_site(module: Module, function: Function, vcall: Instruction) -> None
     block.remove(vcall)
 
     builder = IRBuilder(block)
+    # The whole expansion is charged to the virtual call's source location.
+    builder.loc = vcall.loc
     # Load the vtable pointer (stored at offset 0 of every polymorphic
     # object) and then the slot's function-symbol id.
     vptr_addr = builder.gep(obj, ptr(ptr(I64)), offset=0, name="vptr.addr")
@@ -99,6 +101,9 @@ def _expand_site(module: Module, function: Function, vcall: Instruction) -> None
             next_block = function.new_block(f"vtest.{vcall.uid}.{pos + 1}")
             symbol = const_int(_symbol_id(module, target_fn), I64)
             cond = builder.icmp("eq", target_id, symbol, name="is_target")
+            # Tag the chain's compares so the source-line profiler can count
+            # devirtualization tests separately from ordinary arithmetic.
+            cond.annotations["devirt_chain"] = True
             builder.condbr(cond, call_block, next_block)
         builder.position_at_end(call_block)
         this_arg = obj
@@ -114,6 +119,7 @@ def _expand_site(module: Module, function: Function, vcall: Instruction) -> None
             result = result_incoming[0][1]
         else:
             phi = Instruction("phi", vcall.type, [], name=f"vres.{vcall.uid}")
+            phi.loc = vcall.loc
             after.insert(0, phi)
             for src_block, value in result_incoming:
                 add_phi_incoming(phi, value, src_block)

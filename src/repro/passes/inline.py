@@ -103,9 +103,11 @@ def _inline_call_site(function: Function, call: Instruction) -> None:
                 returns.append((nblock, value))
                 br = Instruction("br", cinstr.type, [])
                 br.targets = [after]
+                br.loc = _chained_loc(cinstr.loc, call.loc)
                 nblock.append(br)
                 continue
             clone = _clone_instruction(cinstr, vmap, block_map)
+            clone.loc = _chained_loc(cinstr.loc, call.loc)
             nblock.append(clone)
             vmap[cinstr] = clone
     # Second pass fixes forward references (operands defined later).
@@ -124,6 +126,7 @@ def _inline_call_site(function: Function, call: Instruction) -> None:
     call_block.remove(call)
     br = Instruction("br", call.type, [])
     br.targets = [entry_clone]
+    br.loc = call.loc
     call_block.append(br)
 
     # Merge return value(s) at the join block.
@@ -132,6 +135,7 @@ def _inline_call_site(function: Function, call: Instruction) -> None:
             result = returns[0][1]
         else:
             phi = Instruction("phi", call.type, [], name=f"{callee.name}.ret")
+            phi.loc = call.loc
             after.insert(0, phi)
             for rblock, rvalue in returns:
                 add_phi_incoming(phi, rvalue, rblock)
@@ -155,6 +159,16 @@ def _clone_instruction(instr: Instruction, vmap, block_map) -> Instruction:
     clone.phi_blocks = list(instr.phi_blocks)
     clone.targets = list(instr.targets)
     return clone
+
+
+def _chained_loc(callee_loc, call_loc):
+    """Debug-info chain for an inlined instruction: the callee's own
+    frames followed by the call site's (LLVM's ``inlinedAt``)."""
+    if callee_loc is None:
+        return call_loc
+    if call_loc is None:
+        return callee_loc
+    return tuple(callee_loc) + tuple(call_loc)
 
 
 def _mapped(vmap, value):

@@ -331,12 +331,14 @@ def _apply_stagger(function: Function, loop, candidate: _Candidate) -> None:
     pre_term = preheader.terminator
     insert_at = preheader.instructions.index(pre_term)
 
+    loop_loc = iv.loc  # stagger arithmetic is charged to the loop counter
+
     def pre_insert(instr):
         nonlocal insert_at
+        instr.loc = loop_loc
         preheader.insert(insert_at, instr)
         insert_at += 1
         return instr
-
     gid = Instruction("call", GPU_GLOBAL_ID.return_type, [], name="l3.gid")
     gid.callee = GPU_GLOBAL_ID
     pre_insert(gid)
@@ -355,6 +357,7 @@ def _apply_stagger(function: Function, loop, candidate: _Candidate) -> None:
 
     # Header: j_tmp as a wrap-around induction variable.
     jtmp = Instruction("phi", itype, [], name="l3.j_tmp")
+    jtmp.loc = loop_loc
     header.insert(0, jtmp)
     jtmp.annotations["l3opt"] = True
     add_phi_incoming(jtmp, jt0, preheader)
@@ -363,13 +366,16 @@ def _apply_stagger(function: Function, loop, candidate: _Candidate) -> None:
     latch_term = latch.terminator
     latch_at = latch.instructions.index(latch_term)
     inc = Instruction("add", itype, [jtmp, Constant(itype, 1)], name="l3.jt.inc")
+    inc.loc = loop_loc
     latch.insert(latch_at, inc)
     wrap = Instruction("icmp", _bool_type(), [inc, bound], name="l3.jt.wrap")
     wrap.pred = "eq"
+    wrap.loc = loop_loc
     latch.insert(latch_at + 1, wrap)
     nxt = Instruction(
         "select", itype, [wrap, Constant(itype, 0), inc], name="l3.jt.next"
     )
+    nxt.loc = loop_loc
     latch.insert(latch_at + 2, nxt)
     add_phi_incoming(jtmp, nxt, latch)
 

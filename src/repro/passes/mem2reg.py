@@ -54,6 +54,7 @@ def promote_memory_to_registers(function: Function) -> bool:
                 if frontier_block in placed:
                     continue
                 phi = Instruction("phi", alloca.alloc_type, [], name=f"{alloca.name}.phi")
+                phi.loc = alloca.loc
                 frontier_block.insert(0, phi)
                 placed[frontier_block] = phi
                 if frontier_block not in seen:

@@ -74,6 +74,7 @@ def _commute_through_geps(function: Function) -> bool:
                 "call", base.type, [base], name="gpu_base_ptr"
             )
             translated_base.callee = SVM_TO_GPU
+            translated_base.loc = site.loc
             block.insert(index, translated_base)
             gpu_gep = Instruction(
                 "gep",
@@ -83,6 +84,7 @@ def _commute_through_geps(function: Function) -> bool:
             )
             gpu_gep.gep_offset = source.gep_offset
             gpu_gep.gep_scales = list(source.gep_scales)
+            gpu_gep.loc = source.loc
             block.insert(index + 1, gpu_gep)
             for instr in function.instructions():
                 instr.replace_uses_of(site, gpu_gep)

@@ -109,7 +109,10 @@ def _remove_forwarding_blocks(function: Function) -> bool:
             target = term.targets[0]
             if target is block:
                 continue
-            block_preds = preds[block]
+            # A condbr with both arms aimed at this block lists its source
+            # twice in compute_preds; phi edges are per-block, so dedupe
+            # (order-preserving) before rewriting them.
+            block_preds = list(dict.fromkeys(preds[block]))
             if not block_preds:
                 continue
             # A phi in the target distinguishes incoming edges; retargeting

@@ -61,6 +61,8 @@ def lower_svm_pointers(function: Function) -> bool:
                     "call", address.type, [address], name="gpu_ptr"
                 )
                 translate.callee = SVM_TO_GPU
+                # Translation arithmetic is charged to the access it guards.
+                translate.loc = instr.loc
                 block.insert(index, translate)
                 index += 1
                 instr.operands[pos] = translate

@@ -44,9 +44,11 @@ def eliminate_tail_recursion(function: Function) -> bool:
     _redirect_phi_blocks(function, old_entry, header, exclude=header)
 
     # Argument phis in the header.
+    first_call_loc = sites[0][0].loc
     arg_phis = []
     for arg in function.args:
         phi = Instruction("phi", arg.type, [], name=f"{arg.name}.tr")
+        phi.loc = first_call_loc
         header.insert(0, phi)
         add_phi_incoming(phi, arg, old_entry)
         arg_phis.append(phi)
@@ -69,6 +71,7 @@ def eliminate_tail_recursion(function: Function) -> bool:
         block.remove(call)
         jump = Instruction("br", _void(), [])
         jump.targets = [header]
+        jump.loc = call.loc
         block.append(jump)
     return True
 

@@ -228,6 +228,7 @@ def _make_lcssa(function: Function, loop, exit_block, exit_edges) -> bool:
         if not all(domtree.dominates(instr.block, ex) for ex in exiting):
             return False
         phi = Instruction("phi", instr.type, [], name=f"{instr.name or 'v'}.lcssa")
+        phi.loc = instr.loc
         exit_block.insert(0, phi)
         new_phis.add(phi.uid)
         for inside in exiting:
@@ -249,6 +250,7 @@ def _clone(instr: Instruction) -> Instruction:
     clone.targets = list(instr.targets)
     clone.phi_blocks = list(instr.phi_blocks)
     clone.annotations = dict(instr.annotations)
+    clone.loc = instr.loc
     return clone
 
 

@@ -34,6 +34,7 @@ def clone_function(module: Module, source: Function, new_name: str) -> Function:
             copy.vslot = instr.vslot
             copy.vclass = instr.vclass
             copy.annotations = dict(instr.annotations)
+            copy.loc = instr.loc
             new_block.append(copy)
             vmap[instr] = copy
     for block in source.blocks:

@@ -110,6 +110,9 @@ def compile_source(
             sema = Sema(unit)
             lowerer = UnitLowerer(sema, ir.Module(module_name))
             module = lowerer.lower_unit()
+            # The line profiler resolves instruction locs back to source
+            # text through the module (repro.obs.lines).
+            module.source_text = source
 
         kernels: dict[str, KernelInfo] = {}
         for info in list(sema.classes.values()):
@@ -206,6 +209,16 @@ def compile_source(
     )
 
 
+def _first_loc(function: Function):
+    """First source location in ``function``, for stamping synthesized
+    calls to it (the wrapper has no source line of its own)."""
+    for block in function.blocks:
+        for instr in block.instructions:
+            if instr.loc is not None:
+                return instr.loc
+    return None
+
+
 def _make_kernel_wrapper(module: Module, info: ClassInfo, operator_fn: Function) -> Function:
     """``void kernel.<Class>(Class* body, int i)`` calling operator()."""
     name = f"kernel.{info.struct_type.name}"
@@ -213,6 +226,7 @@ def _make_kernel_wrapper(module: Module, info: ClassInfo, operator_fn: Function)
     kernel = Function(name, ftype, ["body", "i"])
     kernel.attributes["kernel"] = True
     kernel.attributes["body_class"] = info.name
+    kernel.attributes["source_locs"] = True
     module.add_function(kernel)
     entry = kernel.new_block("entry")
     builder = IRBuilder(entry)
@@ -220,7 +234,8 @@ def _make_kernel_wrapper(module: Module, info: ClassInfo, operator_fn: Function)
     # passes the iteration index explicitly so the same wrapper runs on the
     # CPU.  The L3OPT pass uses the gpu.global_id intrinsic, which the
     # executor binds to the same value.
-    builder.call(operator_fn, [kernel.args[0], kernel.args[1]])
+    call = builder.call(operator_fn, [kernel.args[0], kernel.args[1]])
+    call.loc = _first_loc(operator_fn)
     builder.ret()
     return kernel
 
@@ -232,9 +247,11 @@ def _make_join_wrapper(module: Module, info: ClassInfo, join_fn: Function) -> Fu
     kernel = Function(name, ftype, ["into", "from"])
     kernel.attributes["kernel"] = True
     kernel.attributes["join_of"] = info.name
+    kernel.attributes["source_locs"] = True
     module.add_function(kernel)
     entry = kernel.new_block("entry")
     builder = IRBuilder(entry)
-    builder.call(join_fn, [kernel.args[0], kernel.args[1]])
+    call = builder.call(join_fn, [kernel.args[0], kernel.args[1]])
+    call.loc = _first_loc(join_fn)
     builder.ret()
     return kernel

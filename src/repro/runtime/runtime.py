@@ -282,7 +282,19 @@ class ConcordRuntime:
         counters = self.obs.counters
         for name, value in totals.items():
             counters.add(name, value)
+        counters.add("obs.counter_flushes", 1)
         return totals
+
+    def _record_line_sample(self, kernel, device: str, traces) -> None:
+        """Merge the traces' executed-block histograms and hand them to the
+        observer for source-line attribution (:mod:`repro.obs.lines`).
+        Only called when an observer is attached."""
+        merged: dict = {}
+        for trace in traces:
+            for uid, count in trace.block_counts.items():
+                merged[uid] = merged.get(uid, 0) + count
+        if merged:
+            self.obs.record_kernel_trace(kernel, device, merged)
 
     # -- execution-engine factory ------------------------------------------
 
@@ -416,6 +428,7 @@ class ConcordRuntime:
                 phases={"launch": report.seconds},
                 counters=self._harvest_traces([trace]),
             )
+            self._record_line_sample(kinfo.kernel, "cpu", [trace])
         return ExecutionReport(device="cpu", n=n, report=report)
 
     def _run_cpu_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
@@ -477,6 +490,7 @@ class ConcordRuntime:
                 phases={"launch": report.seconds},
                 counters=self._harvest_traces([trace]),
             )
+            self._record_line_sample(kinfo.kernel, "cpu", [trace])
         return ExecutionReport(device="cpu", n=n, report=report)
 
     # -- GPU offload -------------------------------------------------------------------
@@ -575,6 +589,7 @@ class ConcordRuntime:
                 phases={"jit": jit_seconds, "launch": report.seconds},
                 counters=self._harvest_traces(traces),
             )
+            self._record_line_sample(kinfo.gpu_kernel, "gpu", traces)
         return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
 
     def _offload_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
@@ -711,6 +726,10 @@ class ConcordRuntime:
                 },
                 counters=harvested,
             )
+            self._record_line_sample(kinfo.gpu_kernel, "gpu", traces)
+            if host_trace is not None:
+                host_fn = kinfo.join_kernel or join_fn
+                self._record_line_sample(host_fn, "cpu", [host_trace])
         return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
 
 

@@ -263,6 +263,19 @@ class TestObserverDoesNotPerturb:
         assert rt.code_cache.counters is None
         assert rt.private_pool.counters is None
 
+    def test_self_overhead_is_counted_not_hidden(self):
+        """The observer accounts for its own cost: every span charges its
+        wall time to ``obs.span_ns`` and every harvested trace bumps
+        ``obs.counter_flushes`` — so 'observation was free' is a checkable
+        claim, not an assumption."""
+        observer = Observer()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            profile_workload("bfs", scale=0.1, observer=observer)
+        assert observer.counters.get("obs.span_ns") > 0
+        flushes = observer.counters.get("obs.counter_flushes")
+        assert flushes == len(observer.constructs)
+
 
 # -- CLI --------------------------------------------------------------------
 

@@ -1,0 +1,442 @@
+"""Source-line profiler, Chrome-trace export and benchmark ledger.
+
+Covers the contract in docs/PROFILING.md:
+
+* the frontend stamps every lowered instruction with a source location,
+  every pass preserves it (including each ``without_pass`` pipeline
+  variant — the verifier enforces the invariant after any changed pass),
+  and inlining extends locations with call-site frames;
+* per-line attribution reconstructs whole-kernel instruction totals
+  exactly from the executed-block histograms, for both engines, on
+  arbitrary generated programs (hypothesis);
+* ``python -m repro annotate bfs`` attributes >= 95% of modeled cost to
+  source lines, and the rendered hot-line report is byte-stable;
+* the Chrome ``trace_event`` export round-trips through JSON and
+  validates;
+* ``python -m repro bench`` writes schema-valid ledger entries, numbers
+  them monotonically, diffs against the previous entry and gates on
+  normalized-throughput regressions;
+* unknown workloads exit non-zero with the available list on stderr for
+  both new subcommands.
+"""
+
+import json
+import random
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.obs import (
+    Observer,
+    annotate_workload,
+    build_line_report,
+    build_trace,
+    render_line_report,
+    validate_ledger,
+    validate_trace,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+    diff_ledgers,
+    geomean_delta,
+    ledger_entries,
+    load_latest,
+    regressions,
+    run_benchmarks,
+    write_entry,
+)
+from repro.obs.trace import TRACE_SCHEMA_VERSION, TraceSchemaError
+from repro.passes import OptConfig
+from repro.passes.pipeline import PASS_REGISTRY
+from repro.runtime import compile_source
+
+LOC_REQUIRED_OPS = {"load", "store", "call", "vcall"}
+
+HELPER_SRC = """
+class Scaler {
+public:
+  int* data;
+  int factor;
+  int scaled(int value) { return value * factor + 1; }
+  void operator()(int i) { data[i] = scaled(data[i]); }
+};
+"""
+
+VIRTUAL_SRC = """
+class Shape {
+public:
+  virtual int weight(int x) { return x + 1; }
+};
+class Circle : public Shape {
+public:
+  virtual int weight(int x) { return x * 3; }
+};
+class Apply {
+public:
+  int* data;
+  Shape* shape;
+  void operator()(int i) { data[i] = shape->weight(data[i]); }
+};
+"""
+
+
+def _kernel_functions(program):
+    for kinfo in program.kernels.values():
+        yield kinfo.kernel
+        if kinfo.gpu_kernel is not kinfo.kernel:
+            yield kinfo.gpu_kernel
+
+
+# -- location threading -----------------------------------------------------
+
+
+class TestSourceLocations:
+    def test_frontend_stamps_memory_and_call_ops(self):
+        program = compile_source(HELPER_SRC, OptConfig.gpu_all())
+        for function in _kernel_functions(program):
+            for block in function.blocks:
+                for instr in block.instructions:
+                    if instr.op in LOC_REQUIRED_OPS:
+                        assert instr.loc, (
+                            f"{function.name}: {instr.op} lost its location"
+                        )
+
+    @pytest.mark.parametrize("pass_name", sorted(PASS_REGISTRY))
+    def test_locs_survive_pass_isolation(self, pass_name):
+        """Every ``without_pass`` variant must keep locations on memory
+        and call operations — the verifier also enforces this after any
+        changed pass, so a silent mid-pipeline loss cannot hide."""
+        config = OptConfig.gpu_all().without_pass(pass_name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            program = compile_source(VIRTUAL_SRC, config)
+        for function in _kernel_functions(program):
+            for block in function.blocks:
+                for instr in block.instructions:
+                    if instr.op in LOC_REQUIRED_OPS:
+                        assert instr.loc, (
+                            f"without {pass_name}: {function.name} has a "
+                            f"locless {instr.op}"
+                        )
+
+    def test_inlining_appends_call_site_frames(self):
+        program = compile_source(HELPER_SRC, OptConfig.gpu_all())
+        kinfo = program.kernels["Scaler"]
+        chained = [
+            instr.loc
+            for block in kinfo.gpu_kernel.blocks
+            for instr in block.instructions
+            if instr.loc is not None and len(instr.loc) > 1
+        ]
+        assert chained, "inlining scaled() should leave multi-frame locations"
+        # Innermost frame first: the callee body line (6) precedes the
+        # call site line (7).
+        lines = {tuple(frame[0] for frame in loc) for loc in chained}
+        assert any(chain[0] == 6 and 7 in chain for chain in lines), lines
+
+    def test_verifier_rejects_lost_locations(self):
+        from repro.ir.verifier import VerificationError, verify_function
+
+        program = compile_source(HELPER_SRC, OptConfig.gpu_all())
+        kinfo = program.kernels["Scaler"]
+        function = kinfo.gpu_kernel
+        victim = next(
+            instr
+            for block in function.blocks
+            for instr in block.instructions
+            if instr.op in LOC_REQUIRED_OPS
+        )
+        saved = victim.loc
+        victim.loc = None
+        try:
+            with pytest.raises(VerificationError, match="source location"):
+                verify_function(function)
+            # Hand-built IR (no source_locs attribute) is exempt.
+            function.attributes.pop("source_locs", None)
+            verify_function(function)
+        finally:
+            victim.loc = saved
+            function.attributes["source_locs"] = True
+
+
+# -- line attribution -------------------------------------------------------
+
+
+@st.composite
+def source_programs(draw):
+    from repro.fuzz import generate_source_program
+
+    seed = draw(st.integers(0, 2**31 - 1))
+    return generate_source_program(random.Random(seed), seed=seed)
+
+
+class TestLineAttribution:
+    @given(source_programs(), st.sampled_from(["compiled", "reference"]))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_line_sums_equal_engine_totals(self, program, engine):
+        """Attribution is lossless: summing instruction counts over all
+        lines plus the unattributed bucket reproduces the engine's own
+        executed-instruction counter exactly."""
+        from repro.fuzz import run_source_program
+
+        observer = Observer()
+        outcome = run_source_program(program, engine=engine, observer=observer)
+        assert outcome.ok, outcome.trap
+        report = build_line_report(observer)
+        assert observer.line_samples, "observed run recorded no samples"
+        assert report["totals"]["instructions"] == observer.counters.get(
+            "engine.instructions"
+        )
+
+    def test_bfs_attribution_meets_threshold(self):
+        doc = annotate_workload("bfs", scale=0.2)
+        assert doc["totals"]["attributed_fraction"] >= 0.95
+        assert doc["meta"]["workload"] == "BFS"
+        top = doc["lines"][0]
+        assert top["source"], "hot lines should carry source excerpts"
+        assert top["translations"] > 0  # SVM translations charged to lines
+
+    def test_bfs_golden_hot_line_report(self):
+        """The rendered report is a function of the deterministic cost
+        model only (no wall-clock anywhere), so it is byte-stable."""
+        doc = annotate_workload("bfs", scale=0.2)
+        rendered = render_line_report(doc, top=3)
+        golden = (
+            "Hot lines: BFS (system=Ultrabook, engine=compiled, scale=0.2, "
+            "device=gpu)\n"
+            "attributed 97.0% of 3,706 modeled cost units across 8 source "
+            "line(s)\n"
+            "\n"
+            "         UNITS      %    GPU-SLOTS  CPU-INSTR    MEM-BYTES  "
+            "   XLAT  DEVIRT  LINE  SOURCE\n"
+            "-----------------------------------------------------------"
+            "------------------------------\n"
+            "         1,792  48.4%        1,792          0        1,792  "
+            "    224       0    12  if (dist[i] == level) {\n"
+            "           552  14.9%          552          0          736  "
+            "     46       0    17  if (dist[v] > level + 1) {\n"
+            "           414  11.2%          414          0          552  "
+            "     46       0    16  int v = columns[e];\n"
+            "           112   3.0%          112          0            0  "
+            "      0       0     ?  <no source location>"
+        )
+        assert rendered == golden
+
+    def test_cpu_run_attributes_to_cpu_column(self):
+        doc = annotate_workload("bfs", scale=0.1, on_cpu=True)
+        assert doc["totals"]["attributed_fraction"] >= 0.95
+        assert doc["totals"]["cpu_instrs"] > 0
+        assert doc["totals"]["gpu_slots"] == 0
+
+    def test_unknown_workload_raises_with_available_list(self):
+        with pytest.raises(KeyError, match="available"):
+            annotate_workload("nope")
+
+    def test_virtual_dispatch_charges_devirt_hits(self):
+        from repro.runtime import ConcordRuntime, ultrabook
+        from repro.ir.types import I32
+
+        program = compile_source(VIRTUAL_SRC, OptConfig.gpu_all())
+        observer = Observer()
+        rt = ConcordRuntime(program, ultrabook(), observer=observer)
+        data = rt.new_array(I32, 8)
+        data.fill_from(list(range(8)))
+        body = rt.new("Apply")
+        body.data = data
+        body.shape = rt.new("Circle")
+        rt.parallel_for_hetero(8, body)
+        report = build_line_report(observer)
+        assert report["totals"]["devirt_hits"] > 0
+
+
+# -- Chrome trace export ----------------------------------------------------
+
+
+class TestTraceExport:
+    def _observed_profile(self):
+        from repro.obs import profile_workload
+
+        observer = Observer()
+        profile_workload("bfs", scale=0.1, observer=observer)
+        return observer
+
+    def test_round_trip_validates(self):
+        observer = self._observed_profile()
+        doc = build_trace(observer, meta={"workload": "BFS"})
+        validate_trace(doc)
+        reloaded = json.loads(json.dumps(doc))
+        validate_trace(reloaded)
+        assert reloaded["schema"] == TRACE_SCHEMA_VERSION
+        events = reloaded["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names
+        spans = [e for e in events if e["ph"] == "X" and e["tid"] == 0]
+        constructs = [
+            e
+            for e in events
+            if e["ph"] == "X" and e["tid"] == 1 and e["cat"] == "construct"
+        ]
+        assert spans and constructs
+        assert any(e["name"] == "compile" for e in spans)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters and all("engine.instructions" in e["args"] for e in counters)
+
+    def test_device_timeline_is_sequential(self):
+        observer = self._observed_profile()
+        doc = build_trace(observer)
+        constructs = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == 1 and e["cat"] == "construct"
+        ]
+        cursor = 0.0
+        for event in constructs:
+            assert event["ts"] >= cursor - 1e-9
+            cursor = event["ts"] + event["dur"]
+
+    def test_validator_rejects_malformed_events(self):
+        observer = self._observed_profile()
+        doc = build_trace(observer)
+        bad = json.loads(json.dumps(doc))
+        bad["traceEvents"][3]["dur"] = -1.0
+        bad["traceEvents"][4].pop("name")
+        bad["traceEvents"][5]["ph"] = "Z"
+        with pytest.raises(TraceSchemaError) as excinfo:
+            validate_trace(bad)
+        message = str(excinfo.value)
+        assert "dur" in message and "name" in message and "ph" in message
+
+    def test_validator_rejects_wrong_schema(self):
+        with pytest.raises(TraceSchemaError, match="schema"):
+            validate_trace({"schema": "nope", "traceEvents": [], "otherData": {}})
+
+    def test_profile_cli_writes_trace(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "prof.json"
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "bfs",
+                    "--scale",
+                    "0.1",
+                    "--output",
+                    str(out),
+                    "--trace",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        validate_trace(json.loads(trace.read_text()))
+
+
+# -- benchmark ledger -------------------------------------------------------
+
+
+def _fast_entry(**overrides):
+    defaults = dict(
+        scale=0.1, repeats=1, workloads=["BFS"], calibration=1_000_000.0
+    )
+    defaults.update(overrides)
+    return run_benchmarks(**defaults)
+
+
+class TestLedger:
+    def test_run_benchmarks_validates_and_covers_configs(self):
+        doc = _fast_entry()
+        validate_ledger(doc)
+        assert doc["schema"] == LEDGER_SCHEMA_VERSION
+        labels = {(r["workload"], r["config"]) for r in doc["results"]}
+        assert labels == {
+            ("BFS", "CPU"),
+            ("BFS", "GPU"),
+            ("BFS", "GPU+PTROPT"),
+            ("BFS", "GPU+L3OPT"),
+            ("BFS", "GPU+ALL"),
+        }
+        for row in doc["results"]:
+            assert row["instructions"] > 0
+            assert row["norm_instr_per_s"] > 0
+
+    def test_entries_number_monotonically(self, tmp_path):
+        doc = _fast_entry()
+        first = write_entry(doc, str(tmp_path))
+        second = write_entry(doc, str(tmp_path))
+        assert first.endswith("BENCH_0.json")
+        assert second.endswith("BENCH_1.json")
+        assert [n for n, _ in ledger_entries(str(tmp_path))] == [0, 1]
+        assert load_latest(str(tmp_path))["schema"] == LEDGER_SCHEMA_VERSION
+
+    def test_diff_flags_regressions_past_threshold(self):
+        old = _fast_entry()
+        new = json.loads(json.dumps(old))
+        for row in new["results"]:
+            if row["config"] == "GPU+ALL":
+                row["norm_instr_per_s"] = row["norm_instr_per_s"] * 0.5
+            if row["config"] == "GPU":
+                row["norm_instr_per_s"] = row["norm_instr_per_s"] * 0.9
+        diffs = diff_ledgers(old, new)
+        assert len(diffs) == 5
+        failing = regressions(diffs, threshold=0.15)
+        assert [d["config"] for d in failing] == ["GPU+ALL"]
+        assert failing[0]["delta"] == pytest.approx(-0.5)
+        # The gate judges the geomean: one noisy cell at -50% plus one
+        # at -10% across five cells stays just inside a 15% threshold.
+        overall = geomean_delta(diffs)
+        assert overall == pytest.approx((0.5 * 0.9) ** (1 / 5) - 1)
+        assert -0.15 < overall < 0
+
+    def test_fixed_calibration_pins_every_cell(self):
+        doc = _fast_entry()
+        assert all(
+            row["calibration_ops_per_s"] == 1_000_000.0
+            for row in doc["results"]
+        )
+
+    def test_validator_rejects_malformed_entries(self):
+        with pytest.raises(LedgerSchemaError, match="schema"):
+            validate_ledger({"schema": "nope", "meta": {}, "results": []})
+        doc = _fast_entry()
+        broken = json.loads(json.dumps(doc))
+        broken["results"][0].pop("norm_instr_per_s")
+        broken["results"][1]["wall_seconds"] = -1
+        with pytest.raises(LedgerSchemaError) as excinfo:
+            validate_ledger(broken)
+        message = str(excinfo.value)
+        assert "norm_instr_per_s" in message and "wall_seconds" in message
+
+    def test_bench_cli_writes_entry_and_diffs(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "bench",
+            "--scale",
+            "0.1",
+            "--workloads",
+            "BFS",
+            "--dir",
+            str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert (tmp_path / "BENCH_0.json").exists()
+        validate_ledger(json.loads((tmp_path / "BENCH_0.json").read_text()))
+        capsys.readouterr()
+        assert main(argv) == 0  # second run diffs against the first
+        assert "DELTA" in capsys.readouterr().out
+        assert (tmp_path / "BENCH_1.json").exists()
+
+    def test_bench_cli_rejects_unknown_workload(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["bench", "--workloads", "Nope"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err and "BFS" in err
