@@ -4,7 +4,8 @@
 Compiles a Concord C++ body class that converts an array of Node objects
 into a linked list in parallel, shows the generated OpenCL (right-hand
 side of Figure 1), runs it on the simulated integrated GPU *and* on the
-multicore CPU, and verifies both produce the same list.
+multicore CPU, verifies both produce the same list, then lets the
+runtime's scheduler place the construct itself (``policy="auto"``).
 """
 
 from repro.runtime import ConcordRuntime, OptConfig, compile_source, ultrabook
@@ -63,6 +64,15 @@ def main() -> None:
     print(
         f"speedup {cpu.seconds / gpu.seconds:.2f}x, "
         f"energy savings {cpu.energy_joules / gpu.energy_joules:.2f}x"
+    )
+
+    # Or let the scheduler decide: both devices are now measured for this
+    # kernel, so the auto policy places the construct on the faster one
+    # (see docs/RUNTIME.md for the cpu/gpu/auto/hybrid policies).
+    auto = rt.parallel_for_hetero(N, body, policy="auto")
+    print(
+        f"auto policy placed the construct on the {auto.device}: "
+        f"{auto.seconds * 1e6:8.2f} us"
     )
 
 

@@ -5,8 +5,10 @@ Usage::
     python -m repro compile FILE.cpp [--config GPU|GPU+PTROPT|GPU+L3OPT|GPU+ALL]
                                       [--emit ir|opencl|stats|kernels]
     python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
+                                      [--policy cpu|gpu|auto|hybrid]
     python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference]
                                       [--system ultrabook|desktop] [--on-cpu]
+                                      [--policy cpu|gpu|auto|hybrid]
                                       [--format json|csv] [--output FILE]
                                       [--trace FILE.json]
     python -m repro annotate WORKLOAD [--scale S] [--engine compiled|reference]
@@ -15,7 +17,7 @@ Usage::
     python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check]
                           [--workloads NAME ...] [--engine compiled|reference]
     python -m repro fuzz [--seed N] [--iterations K]
-                         [--target all|frontend|ir|passes|engines]
+                         [--target all|frontend|ir|passes|engines|sched]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
                          [--trace FILE.json]
 
@@ -54,6 +56,12 @@ CONFIGS = {
 }
 
 
+def _policy_names() -> list:
+    from .sched import POLICIES
+
+    return sorted(POLICIES)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -74,6 +82,12 @@ def main(argv=None) -> int:
     run_parser.add_argument(
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
     )
+    run_parser.add_argument(
+        "--policy",
+        choices=_policy_names(),
+        default=None,
+        help="scheduler placement policy (overrides --on-cpu)",
+    )
 
     profile_parser = sub.add_parser(
         "profile", help="run a registered workload under the observability layer"
@@ -87,6 +101,12 @@ def main(argv=None) -> int:
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
     )
     profile_parser.add_argument("--on-cpu", action="store_true")
+    profile_parser.add_argument(
+        "--policy",
+        choices=_policy_names(),
+        default=None,
+        help="scheduler placement policy (overrides --on-cpu)",
+    )
     profile_parser.add_argument("--no-validate", action="store_true")
     profile_parser.add_argument("--format", choices=["json", "csv"], default="json")
     profile_parser.add_argument(
@@ -163,7 +183,7 @@ def main(argv=None) -> int:
     fuzz_parser.add_argument("--iterations", type=int, default=200)
     fuzz_parser.add_argument(
         "--target",
-        choices=["all", "frontend", "ir", "passes", "engines"],
+        choices=["all", "frontend", "ir", "passes", "engines", "sched"],
         default="all",
     )
     fuzz_parser.add_argument(
@@ -243,14 +263,16 @@ def main(argv=None) -> int:
     from .svm import MemoryFault
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
-    rt = ConcordRuntime(program, system)
+    rt = ConcordRuntime(program, system, policy=args.policy or "gpu")
     try:
         body = rt.new(args.body)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
     try:
-        report = rt.parallel_for_hetero(args.n, body, on_cpu=args.on_cpu)
+        report = rt.parallel_for_hetero(
+            args.n, body, on_cpu=args.on_cpu and args.policy is None
+        )
     except (MemoryFault, ExecutionError) as exc:
         print(
             f"error: kernel faulted: {exc}\n"
@@ -290,6 +312,7 @@ def _profile(args) -> int:
             on_cpu=args.on_cpu,
             validate=not args.no_validate,
             observer=observer,
+            policy=args.policy,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)

@@ -1,0 +1,16 @@
+"""Pluggable device backends for the Concord runtime.
+
+A :class:`Backend` encapsulates everything device-specific about running
+one parallel construct: engine/trace setup, the per-device timing model,
+JIT caching (GPU) and the observer bookkeeping.  :class:`CpuBackend` and
+:class:`GpuBackend` absorb what used to be ``ConcordRuntime``'s four
+near-duplicate launch paths; the :mod:`repro.sched` scheduler composes
+their chunk-level primitives (``launch`` / ``reduce``) into hybrid
+co-execution.  See ``docs/RUNTIME.md``.
+"""
+
+from .base import Backend, LaunchResult
+from .cpu import CpuBackend
+from .gpu import GpuBackend
+
+__all__ = ["Backend", "LaunchResult", "CpuBackend", "GpuBackend"]

@@ -1,6 +1,6 @@
 """Figures 7-10: speedup and energy savings relative to multicore CPU
 execution on the Ultrabook and desktop systems, under the four GPU
-configurations."""
+configurations plus the hybrid CPU+GPU scheduler column."""
 
 from __future__ import annotations
 
@@ -8,7 +8,13 @@ from dataclasses import dataclass
 
 from ..runtime.system import System, desktop, ultrabook
 from .formatting import render_series
-from .runner import GPU_CONFIG_LABELS, WORKLOAD_ORDER, geomean, measure_all
+from .runner import (
+    GPU_CONFIG_LABELS,
+    HYBRID_LABEL,
+    WORKLOAD_ORDER,
+    geomean,
+    measure_all,
+)
 
 
 @dataclass
@@ -36,10 +42,11 @@ class FigureData:
 
 def _figure(system: System, metric: str, title: str, scale: float) -> FigureData:
     measurements = measure_all(system, scale=scale)
-    series: dict[str, list[float]] = {label: [] for label in GPU_CONFIG_LABELS}
+    labels = (*GPU_CONFIG_LABELS, HYBRID_LABEL)
+    series: dict[str, list[float]] = {label: [] for label in labels}
     for name in WORKLOAD_ORDER:
         m = measurements[name]
-        for label in GPU_CONFIG_LABELS:
+        for label in labels:
             if metric == "speedup":
                 series[label].append(m.speedup(label))
             else:

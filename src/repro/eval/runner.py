@@ -5,7 +5,10 @@ For one workload on one system we measure:
 * multicore CPU execution (the paper's baseline) — same compiled program,
   ``on_cpu=True``;
 * GPU execution under the four configurations of section 5: GPU,
-  GPU+PTROPT, GPU+L3OPT, GPU+ALL.
+  GPU+PTROPT, GPU+L3OPT, GPU+ALL;
+* hybrid CPU+GPU execution — the fully optimized program dispatched
+  through the partitioning scheduler (``policy="hybrid"``, see
+  :mod:`repro.sched`), reported as the ``HYBRID`` column.
 
 Results are cached per (workload, system, scale) within the process so the
 figure/benchmark runners can share them.
@@ -22,6 +25,10 @@ from ..workloads import all_workloads
 from ..workloads.base import Workload
 
 GPU_CONFIG_LABELS = ("GPU", "GPU+PTROPT", "GPU+L3OPT", "GPU+ALL")
+
+#: Label of the hybrid-scheduler column (kept out of GPU_CONFIG_LABELS —
+#: it is a placement policy, not a compiler configuration).
+HYBRID_LABEL = "HYBRID"
 
 #: Workloads in the paper's presentation order.
 WORKLOAD_ORDER = (
@@ -45,11 +52,17 @@ class Measurement:
     cpu_energy: float
     gpu_seconds: dict[str, float] = field(default_factory=dict)
     gpu_energy: dict[str, float] = field(default_factory=dict)
+    hybrid_seconds: float = 0.0
+    hybrid_energy: float = 0.0
 
     def speedup(self, label: str = "GPU+ALL") -> float:
+        if label == HYBRID_LABEL:
+            return self.cpu_seconds / self.hybrid_seconds
         return self.cpu_seconds / self.gpu_seconds[label]
 
     def energy_savings(self, label: str = "GPU+ALL") -> float:
+        if label == HYBRID_LABEL:
+            return self.cpu_energy / self.hybrid_energy
         return self.cpu_energy / self.gpu_energy[label]
 
 
@@ -117,6 +130,17 @@ def measure_workload(
             )
             measurement.gpu_seconds[config.label] = outcome.seconds
             measurement.gpu_energy[config.label] = outcome.energy_joules
+        hybrid_outcome = workload.execute(
+            OptConfig.gpu_all(),
+            system,
+            scale=scale,
+            validate=validate,
+            engine=engine,
+            observer=observer,
+            policy="hybrid",
+        )
+        measurement.hybrid_seconds = hybrid_outcome.seconds
+        measurement.hybrid_energy = hybrid_outcome.energy_joules
     _CACHE[key] = measurement
     return measurement
 

@@ -4,12 +4,13 @@ Two seeded generators (:mod:`repro.fuzz.srcgen` for MiniC++ sources,
 :mod:`repro.fuzz.irgen` for verifier-clean IR), a set of differential
 oracles (:mod:`repro.fuzz.oracle`: reference interpreter vs compiled
 engine, CPU vs GPU kernel forms, full pass pipeline vs per-pass-disabled
-pipelines), a spec-tree reducer (:mod:`repro.fuzz.reduce`), and a
-deterministic campaign driver (:mod:`repro.fuzz.driver`) that writes
-reduced reproducers into ``tests/corpus/``.
+pipelines, scheduler policies vs the paper-faithful gpu policy), a
+spec-tree reducer (:mod:`repro.fuzz.reduce`), and a deterministic
+campaign driver (:mod:`repro.fuzz.driver`) that writes reduced
+reproducers into ``tests/corpus/``.
 
 Entry point: ``python -m repro fuzz --seed N --iterations K
---target {all,frontend,ir,passes,engines}``.
+--target {all,frontend,ir,passes,engines,sched}``.
 """
 
 from .driver import (
@@ -31,6 +32,7 @@ from .oracle import (
     source_config_divergences,
     source_engine_divergences,
     source_pass_divergences,
+    source_sched_divergences,
 )
 from .reduce import (
     ReductionResult,
@@ -66,5 +68,6 @@ __all__ = [
     "source_config_divergences",
     "source_engine_divergences",
     "source_pass_divergences",
+    "source_sched_divergences",
     "write_reproducer",
 ]

@@ -19,7 +19,10 @@ Targets select what each iteration exercises:
 * ``frontend`` — source programs with feature flags force-rotated
   (virtual calls, floats, helper methods, reductions) through the
   cross-engine oracle, stressing the frontend grammar corners;
-* ``all`` — round-robin over the four targets.
+* ``sched`` — a source program through the ``gpu``, ``hybrid`` and
+  ``auto`` scheduler policies (hybrid must match gpu bit-for-bit; auto
+  must match on outputs);
+* ``all`` — round-robin over the five targets.
 
 Divergences are shrunk by :mod:`repro.fuzz.reduce` with the same oracle
 as predicate and written to the corpus directory (default
@@ -40,11 +43,12 @@ from .oracle import (
     source_config_divergences,
     source_engine_divergences,
     source_pass_divergences,
+    source_sched_divergences,
 )
 from .reduce import reduce_ir_program, reduce_source_program
 from .srcgen import SourceProgram, generate_source_program
 
-TARGETS = ("engines", "passes", "ir", "frontend")
+TARGETS = ("engines", "passes", "ir", "frontend", "sched")
 
 #: Forced feature-flag rotations for the ``frontend`` target.
 _FRONTEND_FORCES = (
@@ -164,6 +168,14 @@ class FuzzDriver:
                 target,
                 None,
             )
+        if target == "sched":
+            return (
+                source_sched_divergences(program),
+                "source",
+                program,
+                target,
+                None,
+            )
         # passes: rotate one disabled pass per iteration; every full
         # rotation also cross-checks the paper's four configurations.
         from ..passes.pipeline import DISABLEABLE_PASSES
@@ -190,6 +202,8 @@ class FuzzDriver:
         """The oracle that found a divergence, as a reduction predicate."""
         if kind == "ir":
             return lambda p: bool(ir_divergences(p))
+        if target == "sched":
+            return lambda p: bool(source_sched_divergences(p))
         if target == "passes":
             if detail == "configs":
                 return lambda p: bool(source_config_divergences(p))

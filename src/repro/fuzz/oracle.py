@@ -116,10 +116,13 @@ def run_source_program(
     keep_traces: bool = False,
     compiled=None,
     observer=None,
+    policy: Optional[str] = None,
 ) -> Outcome:
     """Compile (unless ``compiled`` is passed) and execute one generated
     program, returning the full observable outcome.  ``observer`` (a
-    ``repro.obs.Observer``) opts the run into span/counter collection."""
+    ``repro.obs.Observer``) opts the run into span/counter collection;
+    ``policy`` routes the constructs through a scheduler placement policy
+    instead of the ``device`` flag."""
     from ..ir.types import F32, I32
     from ..runtime import ConcordRuntime, compile_source, ultrabook
 
@@ -138,6 +141,7 @@ def run_source_program(
             engine=engine,
             keep_traces=keep_traces,
             observer=observer,
+            policy=policy or "gpu",
         )
         data = rt.new_array(I32, program.n)
         data.fill_from(program.data)
@@ -159,11 +163,12 @@ def run_source_program(
             body.obj = obj
         if program.construct == "reduce":
             body.acc = 0
+        on_cpu = device == "cpu" and policy is None
         try:
             if program.construct == "reduce":
-                rt.parallel_reduce_hetero(program.n, body, on_cpu=device == "cpu")
+                rt.parallel_reduce_hetero(program.n, body, on_cpu=on_cpu)
             else:
-                rt.parallel_for_hetero(program.n, body, on_cpu=device == "cpu")
+                rt.parallel_for_hetero(program.n, body, on_cpu=on_cpu)
         except (ExecutionError, MemoryFault) as exc:
             return Outcome(ok=False, trap=type(exc).__name__)
         outputs = {
@@ -317,6 +322,37 @@ def source_config_divergences(program: SourceProgram) -> list:
     diffs = []
     for label, outcome in outcomes[1:]:
         diffs.extend(compare_outcomes(base, outcome, label0, label, region="heap"))
+    return diffs
+
+
+def source_sched_divergences(program: SourceProgram) -> list:
+    """Scheduler placement policies must preserve results.
+
+    ``hybrid`` executes the same compiled program chunk-by-chunk in
+    global index order, so it must match the paper-faithful ``gpu``
+    policy bit-for-bit (outputs *and* region bytes).  ``auto`` may place
+    whole constructs on either device — the CPU reduce path lays scratch
+    copies out differently — so it is held to output equality only.
+    """
+    from ..runtime import compile_source
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            compiled = compile_source(program.source, OptConfig.gpu_all())
+        except Exception:
+            # Frontend rejection is policy-independent: nothing to compare.
+            return []
+    base = run_source_program(program, compiled=compiled, policy="gpu")
+    hybrid = run_source_program(program, compiled=compiled, policy="hybrid")
+    auto = run_source_program(program, compiled=compiled, policy="auto")
+    diffs = []
+    diffs.extend(compare_outcomes(
+        base, hybrid, "policy/gpu", "policy/hybrid", region="full"
+    ))
+    diffs.extend(compare_outcomes(
+        base, auto, "policy/gpu", "policy/auto", region="none"
+    ))
     return diffs
 
 

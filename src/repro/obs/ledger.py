@@ -1,8 +1,8 @@
 """Persisted benchmark ledger with a regression gate (``repro bench``).
 
 Each invocation sweeps the evaluation workloads across the paper's five
-configurations (multicore CPU plus the four GPU variants of section 5),
-measures both *simulated* device time and *host wall-clock* simulation
+configurations (multicore CPU plus the four GPU variants of section 5)
+and a ``HYBRID`` column (the CPU+GPU partitioning scheduler), measures both *simulated* device time and *host wall-clock* simulation
 throughput, and appends a schema-versioned ``BENCH_<n>.json`` entry at
 the ledger directory (the repo root, by convention).  Committing the
 entries gives the project a durable perf history; CI's ``perf-smoke``
@@ -67,7 +67,7 @@ def calibrate(iterations: int = 200_000, repeats: int = 5) -> float:
 # -- measurement -----------------------------------------------------------
 
 
-def _measure_once(workload, config, system, on_cpu, scale, engine):
+def _measure_once(workload, config, system, on_cpu, scale, engine, policy=None):
     """One observed run; returns (sim_seconds, wall_seconds, instructions).
 
     ``wall_seconds`` is the summed wall time of the *construct* spans —
@@ -88,6 +88,7 @@ def _measure_once(workload, config, system, on_cpu, scale, engine):
             validate=False,
             engine=engine,
             observer=observer,
+            policy=policy,
         )
     wall = sum(span.wall_seconds for span in observer.spans("construct"))
     return outcome.seconds, wall, observer.counters.get("engine.instructions", 0)
@@ -125,13 +126,16 @@ def run_benchmarks(
         fixed_calibration if fixed_calibration is not None else calibrate()
     )
 
-    configs = [("CPU", OptConfig.gpu_all(), True)]
-    configs += [(c.label, c, False) for c in OptConfig.all_configs()]
+    configs = [("CPU", OptConfig.gpu_all(), True, None)]
+    configs += [(c.label, c, False, None) for c in OptConfig.all_configs()]
+    # Hybrid CPU+GPU partitioning on the fully optimized program — the
+    # scheduler column of the sweep (see repro.sched).
+    configs += [("HYBRID", OptConfig.gpu_all(), False, "hybrid")]
 
     results = []
     for name in names:
         workload_cls = registry[name]
-        for label, config, on_cpu in configs:
+        for label, config, on_cpu, policy in configs:
             if fixed_calibration is not None:
                 cell_calibration = fixed_calibration
             else:
@@ -140,7 +144,7 @@ def run_benchmarks(
             best = None
             for _ in range(max(1, repeats)):
                 sim, wall, instructions = _measure_once(
-                    workload, config, system, on_cpu, scale, engine
+                    workload, config, system, on_cpu, scale, engine, policy
                 )
                 if best is None or wall < best[1]:
                     best = (sim, wall, instructions)

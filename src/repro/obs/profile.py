@@ -29,7 +29,7 @@ class ConstructProfile:
     index: int
     kernel: str
     construct: str  # "for" | "reduce"
-    device: str  # "cpu" | "gpu"
+    device: str  # "cpu" | "gpu" | "hybrid"
     n: int
     seconds: float
     energy_joules: float
@@ -141,6 +141,7 @@ def profile_workload(
     on_cpu: bool = False,
     validate: bool = True,
     observer=None,
+    policy: Optional[str] = None,
 ) -> dict:
     """Compile, build, run and validate one workload under an observer and
     return its profile document.
@@ -174,17 +175,18 @@ def profile_workload(
             validate=validate,
             engine=engine,
             observer=observer,
+            policy=policy,
         )
-    return build_profile(
-        observer,
-        meta={
-            "workload": key,
-            "system": system.name,
-            "engine": engine,
-            "scale": scale,
-            "device": outcome.device,
-        },
-    )
+    meta = {
+        "workload": key,
+        "system": system.name,
+        "engine": engine,
+        "scale": scale,
+        "device": outcome.device,
+    }
+    if policy is not None:
+        meta["policy"] = policy
+    return build_profile(observer, meta=meta)
 
 
 def profile_to_csv(doc: dict) -> str:

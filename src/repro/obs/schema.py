@@ -64,7 +64,7 @@ PROFILE_SCHEMA = {
                 ],
                 "properties": {
                     "construct": {"enum": ["for", "reduce"]},
-                    "device": {"enum": ["cpu", "gpu"]},
+                    "device": {"enum": ["cpu", "gpu", "hybrid"]},
                     "phases": {
                         "type": "object",
                         "additionalProperties": {"type": "number", "minimum": 0},
@@ -139,8 +139,12 @@ def _check_construct(errors, path, construct) -> None:
             _fail(errors, path, f"missing required key {key!r}")
     if "construct" in construct and construct["construct"] not in ("for", "reduce"):
         _fail(errors, f"{path}.construct", f"{construct['construct']!r} not in ['for', 'reduce']")
-    if "device" in construct and construct["device"] not in ("cpu", "gpu"):
-        _fail(errors, f"{path}.device", f"{construct['device']!r} not in ['cpu', 'gpu']")
+    if "device" in construct and construct["device"] not in ("cpu", "gpu", "hybrid"):
+        _fail(
+            errors,
+            f"{path}.device",
+            f"{construct['device']!r} not in ['cpu', 'gpu', 'hybrid']",
+        )
     if "kernel" in construct and not isinstance(construct["kernel"], str):
         _fail(errors, f"{path}.kernel", "expected a string")
     for key in ("seconds", "energy_joules", "attributed_seconds"):

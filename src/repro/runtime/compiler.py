@@ -21,6 +21,7 @@
 
 from __future__ import annotations
 
+import itertools
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -66,6 +67,11 @@ class CompiledProgram:
     kernels: dict[str, KernelInfo]
     config: OptConfig
     source: str
+    #: Process-unique id.  The runtime's gpu_function_t cache is keyed by
+    #: ``(program_id, kernel_name)``: kernel names repeat across programs
+    #: (every workload calls its body ``operator()``), so the id keeps two
+    #: programs' JIT entries from colliding.
+    program_id: int = field(default_factory=itertools.count().__next__)
 
     def kernel_for(self, class_name: str) -> KernelInfo:
         if class_name not in self.kernels:

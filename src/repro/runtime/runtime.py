@@ -8,35 +8,36 @@ construction, and executes the two parallel constructs:
 * ``parallel_for_hetero(n, body, on_cpu)``
 * ``parallel_reduce_hetero(n, body, on_cpu)``
 
-GPU offload goes through :meth:`_offload` / :meth:`_offload_reduce`, which
-model the paper's runtime API: per-program ``gpu_program_t`` and
-per-function ``gpu_function_t`` caches mean each kernel is "JIT-compiled"
-(finalized + timed for code upload) exactly once, with subsequent launches
-reusing the cached binary — GPU timings include the one-time JIT cost, like
-the paper's measurements.
+Device execution lives in the pluggable backends (:mod:`repro.backend`):
+``CpuBackend`` models the multicore path, ``GpuBackend`` models the
+paper's runtime API — per-program ``gpu_program_t`` / per-function
+``gpu_function_t`` caches mean each kernel is "JIT-compiled" (finalized +
+timed for code upload) exactly once, with subsequent launches reusing the
+cached binary, and reductions follow section 3.3 (private Body copies,
+tree-wise per-work-group reduction in simulated local memory, sequential
+host join of group results).
 
-Reductions follow section 3.3: every work-item gets a private copy of the
-Body, copies are reduced tree-wise per work-group in (simulated) local
-memory, and group results are joined sequentially on the host using the
-original ``join``.
+Placement is decided by the construct scheduler (:mod:`repro.sched`):
+the default ``gpu`` policy and the ``cpu`` policy reproduce the paper's
+two fixed paths bit for bit, while ``auto`` and ``hybrid`` calibrate
+from measured throughput and may split one index space across both
+backends.  See ``docs/RUNTIME.md``.
 """
 
 from __future__ import annotations
 
-import math
-import warnings
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from ..cpu.timing import time_cpu_execution
+from ..backend import CpuBackend, GpuBackend
 from ..exec.buffers import DEFAULT_MEM_EVENT_CAP, MemEventColumns, PrivateMemoryPool
 from ..exec.compiled import CodeCache, CompiledEngine
 from ..exec.interp import ExecTrace, Interpreter
-from ..gpu.cache import CacheModel
-from ..gpu.timing import DeviceReport, time_gpu_kernel
+from ..gpu.timing import DeviceReport
 from ..ir.types import StructType, Type
 from ..minicpp.sema import ClassInfo
+from ..sched import DEFAULT_POLICY, Scheduler
 from ..svm import (
     ArrayView,
     SharedAllocator,
@@ -48,8 +49,17 @@ from ..svm import (
 from .compiler import CompiledProgram, ConcordWarning, KernelInfo
 from .system import System, ultrabook
 
+__all__ = [
+    "ConcordRuntime",
+    "ConcordWarning",
+    "ExecutionReport",
+    "JIT_SECONDS_PER_INSTRUCTION",
+    "REDUCTION_GROUP_SIZE",
+]
+
 #: Simulated cost of one vendor-JIT compilation, per kernel (the paper's
-#: GPU times include a one-time compilation per kernel).
+#: GPU times include a one-time compilation per kernel).  Read by the
+#: GPU backend at call time so tests can monkeypatch it here.
 JIT_SECONDS_PER_INSTRUCTION = 5e-9
 #: Work-group size used for hierarchical reductions (section 3.3).
 REDUCTION_GROUP_SIZE = 16
@@ -57,9 +67,9 @@ REDUCTION_GROUP_SIZE = 16
 
 @dataclass
 class ExecutionReport:
-    """What one parallel construct cost on the device that ran it."""
+    """What one parallel construct cost on the device(s) that ran it."""
 
-    device: str  # "cpu" | "gpu"
+    device: str  # "cpu" | "gpu" | "hybrid"
     n: int
     report: DeviceReport
     jit_seconds: float = 0.0
@@ -73,14 +83,24 @@ class ExecutionReport:
     def energy_joules(self) -> float:
         return self.report.energy_joules
 
+    def __add__(self, other):
+        """Merge two construct reports (sequential composition): seconds,
+        energy and event counts sum; the device is kept when both halves
+        agree and becomes ``"hybrid"`` otherwise.  ``sum()`` over reports
+        works via the 0 identity."""
+        if other == 0:
+            return self
+        if not isinstance(other, ExecutionReport):
+            return NotImplemented
+        return ExecutionReport(
+            device=self.device if self.device == other.device else "hybrid",
+            n=self.n + other.n,
+            report=self.report + other.report,
+            jit_seconds=self.jit_seconds + other.jit_seconds,
+            fallback_reason=self.fallback_reason or other.fallback_reason,
+        )
 
-@dataclass
-class _GpuFunctionCache:
-    """gpu_function_t: cached per-kernel JIT result (section 3.4)."""
-
-    finalized: bool = False
-    jit_seconds: float = 0.0
-    launches: int = 0
+    __radd__ = __add__
 
 
 class ConcordRuntime:
@@ -96,6 +116,7 @@ class ConcordRuntime:
         engine: str = "compiled",
         keep_traces: bool = False,
         observer=None,
+        policy: str = DEFAULT_POLICY,
     ):
         if engine not in ("compiled", "reference"):
             raise ValueError(
@@ -118,7 +139,7 @@ class ConcordRuntime:
         counters = observer.counters if observer is not None else None
         # Threaded-code cache: each kernel compiles at most once per
         # runtime, every launch replays the cached closures (the
-        # simulator-level analogue of the gpu_function_t JIT cache below).
+        # simulator-level analogue of the gpu_function_t JIT cache).
         self.code_cache = CodeCache(self.region, counters=counters)
         self.private_pool = PrivateMemoryPool(
             Interpreter.PRIVATE_WINDOW + 0x1000, counters=counters
@@ -132,10 +153,14 @@ class ConcordRuntime:
         # when the program was compiled with device_alloc.
         self._device_heap = None
         self._symbols: dict[int, object] = {}
-        # gpu_program_t: one entry per (program, kernel) pair
-        self._gpu_function_cache: dict[str, _GpuFunctionCache] = {}
+        # gpu_program_t: one gpu_function_t entry per (program, kernel)
+        # pair — keyed by program id because kernel names repeat across
+        # independently compiled programs.
+        self._gpu_function_cache: dict[tuple, object] = {}
         self.total_gpu_report = DeviceReport(device="gpu", seconds=0, energy_joules=0)
         self.total_cpu_report = DeviceReport(device="cpu", seconds=0, energy_joules=0)
+        self.backends = {"cpu": CpuBackend(self), "gpu": GpuBackend(self)}
+        self.scheduler = Scheduler(self, policy=policy)
         self._load_program()
 
     # -- program loading (vtables + globals into the shared region) -----------
@@ -296,6 +321,44 @@ class ConcordRuntime:
         if merged:
             self.obs.record_kernel_trace(kernel, device, merged)
 
+    def _record_construct(
+        self,
+        cspan,
+        kernel_name: str,
+        construct: str,
+        device: str,
+        n: int,
+        *,
+        seconds: float,
+        energy_joules: float,
+        phases: dict,
+        traces,
+        span_seconds=(),
+        line_samples=(),
+    ) -> None:
+        """One construct's worth of observer bookkeeping, shared by every
+        backend and the hybrid scheduler: stamp simulated times onto the
+        phase spans, flush trace counters, record the launch profile and
+        the source-line samples.  Only called when an observer is
+        attached."""
+        for span, sim in span_seconds:
+            if span is not None:
+                span.sim_seconds = sim
+        if cspan is not None:
+            cspan.sim_seconds = seconds
+        self.obs.record_launch(
+            kernel_name,
+            construct,
+            device,
+            n,
+            seconds=seconds,
+            energy_joules=energy_joules,
+            phases=phases,
+            counters=self._harvest_traces(traces),
+        )
+        for kernel, sample_device, sample_traces in line_samples:
+            self._record_line_sample(kernel, sample_device, sample_traces)
+
     # -- execution-engine factory ------------------------------------------
 
     def _new_trace(self, cap: Optional[int] = None) -> ExecTrace:
@@ -351,165 +414,6 @@ class ConcordRuntime:
             counters=counters,
         )
 
-    # -- parallel constructs --------------------------------------------------------
-
-    def parallel_for_hetero(self, n: int, body, on_cpu: bool = False) -> ExecutionReport:
-        kinfo = self._kernel_of(body)
-        if on_cpu or kinfo.cpu_only:
-            reason = "" if on_cpu else "restriction fallback"
-            report = self._run_cpu(kinfo, n, body)
-            report.fallback_reason = reason
-            return report
-        return self._offload(kinfo, n, body)
-
-    def parallel_reduce_hetero(self, n: int, body, on_cpu: bool = False) -> ExecutionReport:
-        kinfo = self._kernel_of(body)
-        if kinfo.construct != "reduce":
-            raise TypeError(
-                f"{kinfo.body_class.name} has no join method; use "
-                "parallel_for_hetero"
-            )
-        if on_cpu or kinfo.cpu_only:
-            reason = "" if on_cpu else "restriction fallback"
-            report = self._run_cpu_reduce(kinfo, n, body)
-            report.fallback_reason = reason
-            return report
-        return self._offload_reduce(kinfo, n, body)
-
-    def _kernel_of(self, body) -> KernelInfo:
-        if isinstance(body, StructView):
-            name = body.struct_type.name.replace("__", "::")
-            for cname, kinfo in self.program.kernels.items():
-                if kinfo.body_class.struct_type.name == body.struct_type.name:
-                    return kinfo
-            raise KeyError(f"class {name} is not a heterogeneous body")
-        raise TypeError("body must be a StructView created by runtime.new()")
-
-    # -- CPU execution ---------------------------------------------------------------
-
-    def _run_cpu(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        obs = self.obs
-        kernel_name = kinfo.kernel.name
-        with self._span(
-            f"construct:{kernel_name}", "construct", device="cpu", n=n
-        ) as cspan:
-            with self._span("launch", "phase") as launch_span:
-                trace = self._new_trace()
-                interp = self._make_engine(
-                    device="cpu",
-                    trace=trace,
-                    num_cores=self.system.cpu.cores,
-                    allocator=self.allocator,
-                )
-                kernel = kinfo.kernel
-                addr = address_of(body)
-                for index in range(n):
-                    interp.global_id = index
-                    interp.call_function(kernel, [addr, index])
-                interp.release_private_memory()
-                if self.keep_traces:
-                    self.trace_log.append(trace)
-                report = time_cpu_execution(
-                    self.system.cpu,
-                    [trace],
-                    counters=obs.counters if obs is not None else None,
-                )
-        self.total_cpu_report += report
-        if obs is not None:
-            launch_span.sim_seconds = report.seconds
-            cspan.sim_seconds = report.seconds
-            obs.record_launch(
-                kernel_name,
-                "for",
-                "cpu",
-                n,
-                seconds=report.seconds,
-                energy_joules=report.energy_joules,
-                phases={"launch": report.seconds},
-                counters=self._harvest_traces([trace]),
-            )
-            self._record_line_sample(kinfo.kernel, "cpu", [trace])
-        return ExecutionReport(device="cpu", n=n, report=report)
-
-    def _run_cpu_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        # TBB-style: each worker runs iterations into (a copy of) the body
-        # and joins; we model one body copy per core joined at the end.
-        obs = self.obs
-        kernel_name = kinfo.kernel.name
-        with self._span(
-            f"construct:{kernel_name}", "construct", device="cpu", n=n
-        ) as cspan:
-            with self._span("launch", "phase") as launch_span:
-                struct = kinfo.body_class.struct_type
-                size = struct.size()
-                addr = address_of(body)
-                cores = self.system.cpu.cores
-                trace = self._new_trace()
-                interp = self._make_engine(
-                    device="cpu",
-                    trace=trace,
-                    num_cores=cores,
-                    allocator=self.allocator,
-                )
-                copies = []
-                payload = self.region.read_bytes(addr, size)
-                for _ in range(min(cores, max(1, n))):
-                    copy_addr = self.allocator.malloc(size, struct.align())
-                    self.region.write_bytes(copy_addr, payload)
-                    copies.append(copy_addr)
-                for index in range(n):
-                    interp.global_id = index
-                    interp.call_function(
-                        kinfo.kernel, [copies[index % len(copies)], index]
-                    )
-                join = kinfo.join_kernel
-                for copy_addr in copies:
-                    if join is not None:
-                        interp.call_function(join, [addr, copy_addr])
-                for copy_addr in copies:
-                    self.allocator.free(copy_addr)
-                interp.release_private_memory()
-                if self.keep_traces:
-                    self.trace_log.append(trace)
-                report = time_cpu_execution(
-                    self.system.cpu,
-                    [trace],
-                    counters=obs.counters if obs is not None else None,
-                )
-        self.total_cpu_report += report
-        if obs is not None:
-            launch_span.sim_seconds = report.seconds
-            cspan.sim_seconds = report.seconds
-            obs.record_launch(
-                kernel_name,
-                "reduce",
-                "cpu",
-                n,
-                seconds=report.seconds,
-                energy_joules=report.energy_joules,
-                phases={"launch": report.seconds},
-                counters=self._harvest_traces([trace]),
-            )
-            self._record_line_sample(kinfo.kernel, "cpu", [trace])
-        return ExecutionReport(device="cpu", n=n, report=report)
-
-    # -- GPU offload -------------------------------------------------------------------
-
-    def _jit(self, kinfo: KernelInfo) -> float:
-        """One-time OpenCL -> GPU ISA JIT per kernel (gpu_function_t cache)."""
-        cache = self._gpu_function_cache.setdefault(
-            kinfo.gpu_kernel.name, _GpuFunctionCache()
-        )
-        cache.launches += 1
-        if cache.finalized:
-            return 0.0
-        instructions = sum(
-            len(block.instructions) for block in kinfo.gpu_kernel.blocks
-        )
-        cache.jit_seconds = instructions * JIT_SECONDS_PER_INSTRUCTION
-        cache.finalized = True
-        return cache.jit_seconds
-
     def device_heap(self):
         """The device-side bump allocator (created on first use)."""
         if self._device_heap is None:
@@ -520,217 +424,38 @@ class ConcordRuntime:
             self._device_heap = DeviceBumpAllocator(self.region, base, slab_size)
         return self._device_heap
 
-    def _gpu_traces(self, kernel, n: int, args_of) -> list[ExecTrace]:
-        traces = []
-        # Per-work-item cap with a *global* budget: the per-item floor of
-        # 1000 events keeps short lanes representative, but once the
-        # work-items collectively reach ``mem_event_cap`` the remaining
-        # lanes record nothing — without the running ``kept`` total, n
-        # floor-capped lanes would retain up to n * 1000 events, blowing
-        # the budget by orders of magnitude for large n.  Overflow is
-        # visible: each trace counts its drops in ``mem_events_dropped``.
-        budget = self.mem_event_cap
-        per_item = max(1000, budget // max(1, n))
-        kept = 0
-        allocator = (
-            self.device_heap() if self.program.config.device_alloc else None
+    # -- parallel constructs --------------------------------------------------------
+
+    def parallel_for_hetero(
+        self, n: int, body, on_cpu: bool = False, policy: Optional[str] = None
+    ) -> ExecutionReport:
+        """The paper's heterogeneous parallel-for.  ``on_cpu=True`` forces
+        the multicore path; otherwise placement follows ``policy`` (this
+        call's override, else the runtime's configured policy)."""
+        kinfo = self._kernel_of(body)
+        return self.scheduler.run(kinfo, n, body, "for", on_cpu=on_cpu, policy=policy)
+
+    def parallel_reduce_hetero(
+        self, n: int, body, on_cpu: bool = False, policy: Optional[str] = None
+    ) -> ExecutionReport:
+        kinfo = self._kernel_of(body)
+        if kinfo.construct != "reduce":
+            raise TypeError(
+                f"{kinfo.body_class.name} has no join method; use "
+                "parallel_for_hetero"
+            )
+        return self.scheduler.run(
+            kinfo, n, body, "reduce", on_cpu=on_cpu, policy=policy
         )
-        for index in range(n):
-            cap = min(per_item, max(0, budget - kept))
-            trace = self._new_trace(cap)
-            interp = self._make_engine(
-                device="gpu",
-                trace=trace,
-                global_id=index,
-                num_cores=self.system.gpu.num_eus,
-                allocator=allocator,
-            )
-            interp.call_function(kernel, args_of(index))
-            interp.release_private_memory()
-            kept += len(trace.mem_events)
-            traces.append(trace)
-        if self.keep_traces:
-            self.trace_log.extend(traces)
-        return traces
 
-    def _offload(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        obs = self.obs
-        kernel_name = kinfo.gpu_kernel.name
-        with self._span(
-            f"construct:{kernel_name}", "construct", device="gpu", n=n
-        ) as cspan:
-            with self._span("jit", "phase") as jit_span:
-                jit_seconds = self._jit(kinfo)
-            # The kernel receives the body pointer in CPU representation (the
-            # paper's ``CpuPtr cpu_ptr`` argument) and translates it itself.
-            addr = address_of(body)
-            with self._span("launch", "phase") as launch_span:
-                traces = self._gpu_traces(
-                    kinfo.gpu_kernel, n, lambda index: [addr, index]
-                )
-                report = time_gpu_kernel(
-                    self.system.gpu,
-                    kinfo.gpu_kernel,
-                    traces,
-                    counters=obs.counters if obs is not None else None,
-                )
-        self.total_gpu_report += report
-        if obs is not None:
-            jit_span.sim_seconds = jit_seconds
-            launch_span.sim_seconds = report.seconds
-            cspan.sim_seconds = report.seconds + jit_seconds
-            obs.record_launch(
-                kernel_name,
-                "for",
-                "gpu",
-                n,
-                seconds=report.seconds + jit_seconds,
-                energy_joules=report.energy_joules,
-                phases={"jit": jit_seconds, "launch": report.seconds},
-                counters=self._harvest_traces(traces),
-            )
-            self._record_line_sample(kinfo.gpu_kernel, "gpu", traces)
-        return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
-
-    def _offload_reduce(self, kinfo: KernelInfo, n: int, body) -> ExecutionReport:
-        """Hierarchical reduction (section 3.3): private body copies, local
-        memory tree reduction per work-group, sequential join of group
-        results."""
-        obs = self.obs
-        kernel_name = kinfo.gpu_kernel.name
-        tree_span = host_span = None
-        local_seconds = 0.0
-        host_join_seconds = 0.0
-        host_trace = None
-        with self._span(
-            f"construct:{kernel_name}", "construct", device="gpu", n=n
-        ) as cspan:
-            with self._span("jit", "phase") as jit_span:
-                jit_seconds = self._jit(kinfo)
-            struct = kinfo.body_class.struct_type
-            size = struct.size()
-            addr = address_of(body)
-            payload = self.region.read_bytes(addr, size)
-            group = REDUCTION_GROUP_SIZE
-            num_groups = (n + group - 1) // group
-
-            # Private copies live in the shared region for the simulation; on
-            # hardware they sit in private/local memory, so their accesses are
-            # excluded from the global-memory trace below via fresh offsets.
-            copies = [self.allocator.malloc(size, struct.align()) for _ in range(n)]
-            for copy_addr in copies:
-                self.region.write_bytes(copy_addr, payload)
-
-            with self._span("launch", "phase") as launch_span:
-                traces = self._gpu_traces(
-                    kinfo.gpu_kernel,
-                    n,
-                    lambda index: [copies[index], index],
-                )
-                report = time_gpu_kernel(
-                    self.system.gpu,
-                    kinfo.gpu_kernel,
-                    traces,
-                    counters=obs.counters if obs is not None else None,
-                )
-            launch_seconds = report.seconds
-
-            # Tree reduction within each work-group (local memory: charge a
-            # small per-level cost rather than global traffic).  The GPU
-            # join form falls back to the host join when SVM lowering was
-            # skipped; when *neither* form exists, combining the private
-            # copies is impossible — warn and leave the body unreduced
-            # instead of crashing mid-construct (section 3.3's sequential
-            # fallback contract: degrade, don't die).
-            join_fn = getattr(kinfo, "gpu_join_kernel", None) or kinfo.join_kernel
-            if join_fn is None:
-                warnings.warn(
-                    f"reduce body {kinfo.body_class.name} has no join "
-                    "kernel on any device; group results were left "
-                    "uncombined (sequential host-join fallback unavailable)",
-                    ConcordWarning,
-                    stacklevel=3,
-                )
-            else:
-                with self._span(
-                    "reduce_tree", "phase", groups=num_groups
-                ) as tree_span:
-                    join_interp = self._make_engine(
-                        device="gpu" if join_fn.attributes.get("svm_lowered") else "cpu",
-                        collect_mem_events=False,
-                    )
-                    for group_index in range(num_groups):
-                        base = group_index * group
-                        members = copies[base : base + group]
-                        stride = 1
-                        while stride < len(members):
-                            for offset in range(0, len(members) - stride, stride * 2):
-                                into = members[offset]
-                                source = members[offset + stride]
-                                join_interp.call_function(join_fn, [into, source])
-                            stride *= 2
-                    join_interp.release_private_memory()
-                # local-memory reduction cost: log2(group) levels of cheap traffic
-                levels = max(1, int(math.ceil(math.log2(group))))
-                local_cycles = num_groups * levels * 8.0 / self.system.gpu.num_eus
-                local_seconds = local_cycles / self.system.gpu.frequency_hz
-                report.cycles += local_cycles
-                report.seconds += local_seconds
-
-                # Sequential join of group leaders on the host (original
-                # join; the device form is a last-resort stand-in).  The
-                # host join's simulated cost is only measured for the
-                # profile — ExecutionReport keeps its historical meaning
-                # (device time + JIT).
-                host_fn = kinfo.join_kernel or join_fn
-                if obs is not None:
-                    host_trace = self._new_trace()
-                with self._span("host_join", "phase") as host_span:
-                    host = self._host_interpreter(trace=host_trace)
-                    for group_index in range(num_groups):
-                        leader = copies[group_index * group]
-                        host.call_function(host_fn, [addr, leader])
-                    host.release_private_memory()
-            for copy_addr in copies:
-                self.allocator.free(copy_addr)
-
-        self.total_gpu_report += report
-        if obs is not None:
-            if host_trace is not None:
-                host_join_seconds = time_cpu_execution(
-                    self.system.cpu, [host_trace]
-                ).seconds
-            total_seconds = report.seconds + jit_seconds + host_join_seconds
-            jit_span.sim_seconds = jit_seconds
-            launch_span.sim_seconds = launch_seconds
-            if tree_span is not None:
-                tree_span.sim_seconds = local_seconds
-            if host_span is not None:
-                host_span.sim_seconds = host_join_seconds
-            cspan.sim_seconds = total_seconds
-            harvested = self._harvest_traces(
-                traces + ([host_trace] if host_trace is not None else [])
-            )
-            obs.record_launch(
-                kernel_name,
-                "reduce",
-                "gpu",
-                n,
-                seconds=total_seconds,
-                energy_joules=report.energy_joules,
-                phases={
-                    "jit": jit_seconds,
-                    "launch": launch_seconds,
-                    "reduce_tree": local_seconds,
-                    "host_join": host_join_seconds,
-                },
-                counters=harvested,
-            )
-            self._record_line_sample(kinfo.gpu_kernel, "gpu", traces)
-            if host_trace is not None:
-                host_fn = kinfo.join_kernel or join_fn
-                self._record_line_sample(host_fn, "cpu", [host_trace])
-        return ExecutionReport(device="gpu", n=n, report=report, jit_seconds=jit_seconds)
+    def _kernel_of(self, body) -> KernelInfo:
+        if isinstance(body, StructView):
+            name = body.struct_type.name.replace("__", "::")
+            for cname, kinfo in self.program.kernels.items():
+                if kinfo.body_class.struct_type.name == body.struct_type.name:
+                    return kinfo
+            raise KeyError(f"class {name} is not a heterogeneous body")
+        raise TypeError("body must be a StructView created by runtime.new()")
 
 
 def _raw(value):

@@ -1,0 +1,164 @@
+"""Placement policies: where does a construct's index space run?
+
+``cpu`` and ``gpu`` are the paper-faithful single-device paths — they
+delegate to the backend's construct-level entry points and stay
+bit-identical to the pre-refactor runtime.  ``auto`` picks the faster
+device per kernel, warming up through a split first construct when it
+has no measurements; ``hybrid`` splits every large enough construct
+across both backends with the scheduler's earliest-completion chunk
+dispatch.  All four feed the scheduler's throughput history, so
+decisions sharpen over a run and can be pre-seeded from a prior profile
+(``Scheduler.seed_from_profile``).
+
+New policies register with :func:`register_policy` and become selectable
+through ``make_runtime(policy=...)`` and the CLI without touching the
+runtime.
+"""
+
+from __future__ import annotations
+
+#: Below this many work-items a hybrid split cannot pay for itself —
+#: degrade to the best known single device.
+MIN_SPLIT_ITEMS = 4
+
+#: Smallest chunk granularity (work-items) for split dispatch.
+MIN_CHUNK = 16
+
+#: CPU-side chunk size is ``max(MIN_CHUNK, n // CHUNK_DIVISOR)`` — about
+#: CHUNK_DIVISOR dispatch decisions per construct, enough for the
+#: calibration to steer mid-construct without drowning in tiny launches.
+CHUNK_DIVISOR = 64
+
+#: name -> Policy subclass
+POLICIES: dict = {}
+
+
+def register_policy(name: str):
+    """Class decorator adding a policy to the registry under ``name``."""
+
+    def _register(cls):
+        cls.name = name
+        POLICIES[name] = cls
+        return cls
+
+    return _register
+
+
+def _chunk_size(n: int) -> int:
+    return max(MIN_CHUNK, n // CHUNK_DIVISOR)
+
+
+class Policy:
+    """One placement strategy.  Stateless across constructs — anything a
+    policy wants to remember lives in the scheduler's history."""
+
+    name: str = ""
+
+    def run_for(self, sched, kinfo, n, body):
+        raise NotImplementedError
+
+    def run_reduce(self, sched, kinfo, n, body):
+        raise NotImplementedError
+
+
+def _single(sched, device: str, kinfo, n, body, construct: str):
+    """Whole construct on one backend's construct-level path, with the
+    observed launch time fed back into the throughput history."""
+    backend = sched.backend(device)
+    if construct == "reduce":
+        result = backend.run_reduce(kinfo, n, body)
+    else:
+        result = backend.run_for(kinfo, n, body)
+    sched.record(sched.key_of(kinfo), device, n, result.report.seconds)
+    return result
+
+
+def _best_known(sched, kinfo, default: str = "gpu") -> str:
+    """The faster device per the history, or ``default`` when either side
+    is still unmeasured."""
+    key = sched.key_of(kinfo)
+    tg = sched.throughput(key, "gpu")
+    tc = sched.throughput(key, "cpu")
+    if tg is None or tc is None:
+        return default
+    return "gpu" if tg >= tc else "cpu"
+
+
+@register_policy("cpu")
+class CpuPolicy(Policy):
+    """Everything on the multicore CPU (the paper's ``on_cpu=True``)."""
+
+    def run_for(self, sched, kinfo, n, body):
+        return _single(sched, "cpu", kinfo, n, body, "for")
+
+    def run_reduce(self, sched, kinfo, n, body):
+        return _single(sched, "cpu", kinfo, n, body, "reduce")
+
+
+@register_policy("gpu")
+class GpuPolicy(Policy):
+    """Everything offloaded to the integrated GPU (paper-faithful
+    default)."""
+
+    def run_for(self, sched, kinfo, n, body):
+        return _single(sched, "gpu", kinfo, n, body, "for")
+
+    def run_reduce(self, sched, kinfo, n, body):
+        return _single(sched, "gpu", kinfo, n, body, "reduce")
+
+
+@register_policy("auto")
+class AutoPolicy(Policy):
+    """Profile-guided single-device placement.
+
+    With throughput history for both devices (from earlier constructs of
+    the same kernel, from a split warm-up, or seeded from a prior
+    ``repro.obs`` profile), the whole construct goes to the faster one.
+    Cold kernels with enough items warm up through one split construct —
+    the chunk dispatcher measures both devices as a side effect and the
+    winner dominates from the second construct on; tiny cold constructs
+    just take the paper's GPU default.
+    """
+
+    def run_for(self, sched, kinfo, n, body):
+        key = sched.key_of(kinfo)
+        known = (
+            sched.throughput(key, "gpu") is not None
+            and sched.throughput(key, "cpu") is not None
+        )
+        if known or n < 2 * MIN_CHUNK:
+            return _single(sched, _best_known(sched, kinfo), kinfo, n, body, "for")
+        return sched.run_split(kinfo, n, body, "for", _chunk_size(n), "auto")
+
+    def run_reduce(self, sched, kinfo, n, body):
+        # Reductions carry per-item scratch copies; keep them whole on the
+        # best known device rather than paying a split warm-up.
+        return _single(sched, _best_known(sched, kinfo), kinfo, n, body, "reduce")
+
+
+@register_policy("hybrid")
+class HybridPolicy(Policy):
+    """Split each construct across CPU and GPU by calibrated throughput.
+
+    Chunks are dispatched to the device with the earliest estimated
+    completion (see ``Scheduler.run_split``); the CPU:GPU throughput
+    ratio from the accumulated history sizes GPU chunks and gates CPU
+    participation.  Constructs under :data:`MIN_SPLIT_ITEMS` items
+    degrade to the best known single device.
+    """
+
+    def run_for(self, sched, kinfo, n, body):
+        if n < MIN_SPLIT_ITEMS:
+            return self._degrade(sched, kinfo, n, body, "for")
+        return sched.run_split(kinfo, n, body, "for", _chunk_size(n), "hybrid")
+
+    def run_reduce(self, sched, kinfo, n, body):
+        if n < MIN_SPLIT_ITEMS:
+            return self._degrade(sched, kinfo, n, body, "reduce")
+        return sched.run_split(kinfo, n, body, "reduce", _chunk_size(n), "hybrid")
+
+    def _degrade(self, sched, kinfo, n, body, construct):
+        counters = sched.counters
+        if counters is not None:
+            counters.add("sched.degraded")
+        return _single(sched, _best_known(sched, kinfo), kinfo, n, body, construct)

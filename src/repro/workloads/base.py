@@ -81,6 +81,7 @@ class Workload(abc.ABC):
         engine: str = "compiled",
         keep_traces: bool = False,
         observer=None,
+        policy: str = "gpu",
     ) -> ConcordRuntime:
         program = cls.compile(config or OptConfig.gpu_all(), observer=observer)
         return ConcordRuntime(
@@ -91,6 +92,7 @@ class Workload(abc.ABC):
             engine=engine,
             keep_traces=keep_traces,
             observer=observer,
+            policy=policy,
         )
 
     @abc.abstractmethod
@@ -140,18 +142,35 @@ class Workload(abc.ABC):
         collect_mem_events: bool = True,
         engine: str = "compiled",
         observer=None,
+        policy: Optional[str] = None,
     ) -> RunOutcome:
-        """Convenience: compile, build, run, validate, aggregate."""
+        """Convenience: compile, build, run, validate, aggregate.
+
+        ``policy`` selects a scheduler placement policy (``cpu``, ``gpu``,
+        ``auto``, ``hybrid``); when set, it overrides ``on_cpu`` and the
+        runtime dispatches every construct through that policy.
+        """
         rt = self.make_runtime(
-            config, system, collect_mem_events, engine=engine, observer=observer
+            config,
+            system,
+            collect_mem_events,
+            engine=engine,
+            observer=observer,
+            policy=policy or "gpu",
         )
+        if policy is not None:
+            on_cpu = False
         state = self.build(rt, scale)
         reports = self.run(rt, state, on_cpu=on_cpu)
         if validate:
             self.validate(rt, state)
+        if policy is not None:
+            device = reports[0].device if reports else policy
+        else:
+            device = "cpu" if on_cpu else reports[0].device if reports else "gpu"
         return RunOutcome(
             workload=self.name,
-            device="cpu" if on_cpu else reports[0].device if reports else "gpu",
+            device=device,
             reports=reports,
         )
 

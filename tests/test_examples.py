@@ -23,6 +23,7 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "linked list verified: 256 links" in out
         assert "speedup" in out
+        assert "auto policy placed the construct" in out
 
     def test_shortest_path_runs(self, capsys):
         load_example("shortest_path_roadmap").main()
@@ -36,6 +37,7 @@ class TestExamples:
         assert "frontend output" in out
         assert "static pointer translations" in out
         assert "__kernel void" in out
+        assert "auto policy ran 64 pointer walks" in out
 
     @pytest.mark.parametrize(
         "name",
