@@ -1,4 +1,7 @@
-"""Throughput of the threaded-code engine vs the reference interpreter.
+"""Throughput of the lane-execution engines against each other.
+
+Covers the reference interpreter, the threaded-code engine and the
+columnar vector engine (``docs/VECTOR.md``).
 
 Two measurements, printed as tables (numbers are recorded per-PR in
 CHANGES.md):
@@ -28,7 +31,7 @@ import time
 import warnings
 
 KERNEL_WORKLOADS = ("BFS", "Raytracer", "SkipList")
-ENGINES = ("reference", "compiled")
+ENGINES = ("reference", "compiled", "vector")
 
 
 def _run_workload(name: str, engine: str, scale: float, repeats: int):
@@ -84,14 +87,22 @@ def main() -> None:
                 f"{instructions:>12,} {rate:>12,.0f}"
             )
         ratio = kernel_rates[name]["compiled"] / kernel_rates[name]["reference"]
-        print(f"{name:<12} {'speedup':<10} {ratio:>8.2f}x\n")
+        vratio = kernel_rates[name]["vector"] / kernel_rates[name]["compiled"]
+        print(
+            f"{name:<12} {'speedup':<10} {ratio:>8.2f}x compiled/reference, "
+            f"{vratio:.2f}x vector/compiled\n"
+        )
 
     print("Figure 7 ultrabook sweep (nine workloads, all configs):")
     sweep: dict[str, float] = {}
     for engine in ENGINES:
         sweep[engine] = _run_figure7(engine, scale, repeats)
         print(f"  {engine:<10} {sweep[engine]:>8.2f} s")
-    print(f"  end-to-end speedup: {sweep['reference'] / sweep['compiled']:.2f}x")
+    print(
+        f"  end-to-end speedup: "
+        f"{sweep['reference'] / sweep['compiled']:.2f}x compiled/reference, "
+        f"{sweep['compiled'] / sweep['vector']:.2f}x vector/compiled"
+    )
 
 
 if __name__ == "__main__":

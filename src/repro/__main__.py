@@ -6,18 +6,19 @@ Usage::
                                       [--emit ir|opencl|stats|kernels]
     python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
                                       [--policy cpu|gpu|auto|hybrid]
-    python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference]
+                                      [--engine compiled|reference|vector]
+    python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference|vector]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--policy cpu|gpu|auto|hybrid]
                                       [--format json|csv] [--output FILE]
                                       [--trace FILE.json]
-    python -m repro annotate WORKLOAD [--scale S] [--engine compiled|reference]
+    python -m repro annotate WORKLOAD [--scale S] [--engine compiled|reference|vector]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--top N] [--format text|json] [--output FILE]
     python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check]
-                          [--workloads NAME ...] [--engine compiled|reference]
+                          [--workloads NAME ...] [--engine compiled|reference|vector]
     python -m repro fuzz [--seed N] [--iterations K]
-                         [--target all|frontend|ir|passes|engines|sched]
+                         [--target all|frontend|ir|passes|engines|sched|vector]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
                          [--trace FILE.json]
 
@@ -83,6 +84,12 @@ def main(argv=None) -> int:
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
     )
     run_parser.add_argument(
+        "--engine",
+        choices=["compiled", "reference", "vector"],
+        default="compiled",
+        help="execution engine for kernel lanes",
+    )
+    run_parser.add_argument(
         "--policy",
         choices=_policy_names(),
         default=None,
@@ -95,7 +102,7 @@ def main(argv=None) -> int:
     profile_parser.add_argument("workload", help="workload name, e.g. bfs")
     profile_parser.add_argument("--scale", type=float, default=1.0)
     profile_parser.add_argument(
-        "--engine", choices=["compiled", "reference"], default="compiled"
+        "--engine", choices=["compiled", "reference", "vector"], default="compiled"
     )
     profile_parser.add_argument(
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
@@ -125,7 +132,7 @@ def main(argv=None) -> int:
     annotate_parser.add_argument("workload", help="workload name, e.g. bfs")
     annotate_parser.add_argument("--scale", type=float, default=1.0)
     annotate_parser.add_argument(
-        "--engine", choices=["compiled", "reference"], default="compiled"
+        "--engine", choices=["compiled", "reference", "vector"], default="compiled"
     )
     annotate_parser.add_argument(
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
@@ -148,7 +155,7 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=1, help="keep the best wall clock of N runs"
     )
     bench_parser.add_argument(
-        "--engine", choices=["compiled", "reference"], default="compiled"
+        "--engine", choices=["compiled", "reference", "vector"], default="compiled"
     )
     bench_parser.add_argument(
         "--system", choices=["ultrabook", "desktop"], default="ultrabook"
@@ -183,7 +190,7 @@ def main(argv=None) -> int:
     fuzz_parser.add_argument("--iterations", type=int, default=200)
     fuzz_parser.add_argument(
         "--target",
-        choices=["all", "frontend", "ir", "passes", "engines", "sched"],
+        choices=["all", "frontend", "ir", "passes", "engines", "sched", "vector"],
         default="all",
     )
     fuzz_parser.add_argument(
@@ -263,7 +270,9 @@ def main(argv=None) -> int:
     from .svm import MemoryFault
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
-    rt = ConcordRuntime(program, system, policy=args.policy or "gpu")
+    rt = ConcordRuntime(
+        program, system, engine=args.engine, policy=args.policy or "gpu"
+    )
     try:
         body = rt.new(args.body)
     except KeyError as exc:

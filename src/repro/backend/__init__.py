@@ -7,10 +7,16 @@ JIT caching (GPU) and the observer bookkeeping.  :class:`CpuBackend` and
 near-duplicate launch paths; the :mod:`repro.sched` scheduler composes
 their chunk-level primitives (``launch`` / ``reduce``) into hybrid
 co-execution.  See ``docs/RUNTIME.md``.
+
+:class:`VectorBackend` subclasses :class:`GpuBackend`, swapping the
+lane-at-a-time engine for the columnar NumPy engine in
+:mod:`repro.exec.vector` (``ConcordRuntime(engine="vector")``); see
+``docs/VECTOR.md``.
 """
 
 from .base import Backend, LaunchResult
 from .cpu import CpuBackend
 from .gpu import GpuBackend
+from .vector import VectorBackend
 
-__all__ = ["Backend", "LaunchResult", "CpuBackend", "GpuBackend"]
+__all__ = ["Backend", "LaunchResult", "CpuBackend", "GpuBackend", "VectorBackend"]

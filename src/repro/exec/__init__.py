@@ -10,6 +10,14 @@ region:
   function is lowered once by :class:`CodeCache` into specialized Python
   closures and every launch replays the compiled form.  See
   :mod:`repro.exec.compiled` and ``docs/ENGINE.md``.
+
+A third, batch-oriented engine executes every lane of a GPU chunk at
+once instead of lane-at-a-time:
+
+* :class:`VectorFunction` / :class:`VectorCodeCache` — columnar NumPy
+  lowering with mask-based divergence (``ConcordRuntime(engine="vector")``
+  selects the :class:`repro.backend.vector.VectorBackend` that drives
+  it).  See :mod:`repro.exec.vector` and ``docs/VECTOR.md``.
 """
 
 from .buffers import (
@@ -26,6 +34,13 @@ from .interp import (
     Interpreter,
     MemEvent,
 )
+from .vector import (
+    VectorCodeCache,
+    VectorFallback,
+    VectorFunction,
+    classify_kernel,
+    run_vectorized,
+)
 
 __all__ = [
     "AddressSpace",
@@ -39,5 +54,10 @@ __all__ = [
     "MemEvent",
     "MemEventColumns",
     "PrivateMemoryPool",
+    "VectorCodeCache",
+    "VectorFallback",
+    "VectorFunction",
+    "classify_kernel",
     "iter_mem_events",
+    "run_vectorized",
 ]

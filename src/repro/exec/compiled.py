@@ -344,6 +344,140 @@ class CodeCache:
         return compiled
 
 
+def _effective_terminator(block):
+    """The first terminator in the instruction list — the one execution
+    actually reaches (``BasicBlock.terminator`` only looks at the last
+    instruction, which may differ in malformed blocks)."""
+    for instr in block.instructions:
+        if instr.op in ("br", "condbr", "ret", "unreachable"):
+            return instr
+    return None
+
+
+class FunctionPlan:
+    """The engine-independent lowering plan for one IR function: the
+    reachable-block closure, the SSA register-slot assignment, and the
+    superblock partition.  Both the threaded-code engine and the vector
+    engine compile from the same plan, which is what keeps their unit
+    structure — and therefore block counts, branch stats and derived
+    per-unit counters — identical by construction."""
+
+    __slots__ = (
+        "blocks",
+        "terms",
+        "slots",
+        "nregs",
+        "arg_slots",
+        "units",
+        "unit_idx_by_block",
+    )
+
+    def __init__(self, blocks, terms, slots, nregs, arg_slots, units, unit_idx_by_block):
+        self.blocks = blocks
+        self.terms = terms
+        self.slots = slots
+        self.nregs = nregs
+        self.arg_slots = arg_slots
+        self.units = units
+        self.unit_idx_by_block = unit_idx_by_block
+
+
+def plan_function(fn: Function) -> Optional[FunctionPlan]:
+    """Compute the shared lowering plan for ``fn`` (or ``None`` for a
+    bodyless function)."""
+    # Also pick up blocks reachable only through branch targets but
+    # absent from fn.blocks (a pass may leave such edges); the compiler
+    # must be total over the same object graph the interpreter walks.
+    blocks = list(fn.blocks)
+    if not blocks:
+        return None
+    seen = {id(block) for block in blocks}
+    terms: dict[int, object] = {}
+    i = 0
+    while i < len(blocks):
+        block = blocks[i]
+        term = _effective_terminator(block)
+        terms[id(block)] = term
+        targets = list(block.successors())
+        if term is not None and term.op in ("br", "condbr"):
+            targets.extend(term.targets)
+        for succ in targets:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                blocks.append(succ)
+        i += 1
+    slots: dict[int, int] = {}
+    for arg in fn.args:
+        slots[id(arg)] = len(slots)
+    for block in blocks:
+        for instr in block.instructions:
+            slots[id(instr)] = len(slots)
+    nregs = len(slots)
+    arg_slots = [slots[id(arg)] for arg in fn.args]
+
+    # Superblock formation: a block whose only predecessor reaches it
+    # through an unconditional ``br`` is fused into that predecessor's
+    # unit — the driver loop then runs whole straight-line chains per
+    # iteration.  Block counts stay exact because every constituent
+    # executes whenever its chain head does.
+    preds: dict[int, int] = {}
+    for block in blocks:
+        term = terms[id(block)]
+        if term is not None and term.op in ("br", "condbr"):
+            for succ in term.targets:
+                preds[id(succ)] = preds.get(id(succ), 0) + 1
+    entry_id = id(blocks[0])
+    merge_after: dict[int, object] = {}
+    merged: set[int] = set()
+    for block in blocks:
+        term = terms[id(block)]
+        if (
+            term is not None
+            and term.op == "br"
+            and block.instructions
+            and term is block.instructions[-1]
+        ):
+            succ = term.targets[0]
+            if (
+                id(succ) in seen
+                and id(succ) != entry_id
+                and id(succ) != id(block)
+                and preds.get(id(succ), 0) == 1
+            ):
+                merge_after[id(block)] = succ
+                merged.add(id(succ))
+
+    units: list[list] = []
+    placed: set[int] = set()
+
+    def build_chain(head) -> None:
+        chain = [head]
+        placed.add(id(head))
+        cursor = head
+        while True:
+            nxt = merge_after.get(id(cursor))
+            if nxt is None or id(nxt) in placed:
+                break
+            chain.append(nxt)
+            placed.add(id(nxt))
+            cursor = nxt
+        units.append(chain)
+
+    for block in blocks:
+        if id(block) not in merged and id(block) not in placed:
+            build_chain(block)
+    for block in blocks:  # unreachable merge cycles: force a head
+        if id(block) not in placed:
+            build_chain(block)
+
+    unit_idx_by_block = {
+        block: i for i, chain in enumerate(units) for block in chain
+    }
+    return FunctionPlan(
+        blocks, terms, slots, nregs, arg_slots, units, unit_idx_by_block
+    )
+
+
 class CompiledFunction:
     """A function lowered to a flat tuple of :class:`_Block` records."""
 
@@ -387,99 +521,18 @@ class CompiledFunction:
         return None
 
     def _compile(self) -> None:
-        fn = self.function
-        # Also pick up blocks reachable only through branch targets but
-        # absent from fn.blocks (a pass may leave such edges); the compiler
-        # must be total over the same object graph the interpreter walks.
-        blocks = list(fn.blocks)
-        if not blocks:
+        plan = plan_function(self.function)
+        if plan is None:
             return
-        seen = {id(block) for block in blocks}
-        terms: dict[int, object] = {}
-        i = 0
-        while i < len(blocks):
-            block = blocks[i]
-            term = self._effective_terminator(block)
-            terms[id(block)] = term
-            targets = list(block.successors())
-            if term is not None and term.op in ("br", "condbr"):
-                targets.extend(term.targets)
-            for succ in targets:
-                if id(succ) not in seen:
-                    seen.add(id(succ))
-                    blocks.append(succ)
-            i += 1
-        slots: dict[int, int] = {}
-        for arg in fn.args:
-            slots[id(arg)] = len(slots)
-        for block in blocks:
-            for instr in block.instructions:
-                slots[id(instr)] = len(slots)
-        self.nregs = len(slots)
-        self.arg_slots = [slots[id(arg)] for arg in fn.args]
-
-        # Superblock formation: a block whose only predecessor reaches it
-        # through an unconditional ``br`` is fused into that predecessor's
-        # unit — the driver loop then runs whole straight-line chains per
-        # iteration.  Block counts stay exact because every constituent
-        # executes whenever its chain head does.
-        preds: dict[int, int] = {}
-        for block in blocks:
-            term = terms[id(block)]
-            if term is not None and term.op in ("br", "condbr"):
-                for succ in term.targets:
-                    preds[id(succ)] = preds.get(id(succ), 0) + 1
-        entry_id = id(blocks[0])
-        merge_after: dict[int, object] = {}
-        merged: set[int] = set()
-        for block in blocks:
-            term = terms[id(block)]
-            if (
-                term is not None
-                and term.op == "br"
-                and block.instructions
-                and term is block.instructions[-1]
-            ):
-                succ = term.targets[0]
-                if (
-                    id(succ) in seen
-                    and id(succ) != entry_id
-                    and id(succ) != id(block)
-                    and preds.get(id(succ), 0) == 1
-                ):
-                    merge_after[id(block)] = succ
-                    merged.add(id(succ))
-
-        units: list[list] = []
-        placed: set[int] = set()
-
-        def build_chain(head) -> None:
-            chain = [head]
-            placed.add(id(head))
-            cursor = head
-            while True:
-                nxt = merge_after.get(id(cursor))
-                if nxt is None or id(nxt) in placed:
-                    break
-                chain.append(nxt)
-                placed.add(id(nxt))
-                cursor = nxt
-            units.append(chain)
-
-        for block in blocks:
-            if id(block) not in merged and id(block) not in placed:
-                build_chain(block)
-        for block in blocks:  # unreachable merge cycles: force a head
-            if id(block) not in placed:
-                build_chain(block)
-
-        unit_idx_by_block = {
-            block: i for i, chain in enumerate(units) for block in chain
-        }
+        slots = plan.slots
+        self.nregs = plan.nregs
+        self.arg_slots = list(plan.arg_slots)
+        unit_idx_by_block = plan.unit_idx_by_block
         self.blocks = tuple(
-            self._compile_unit(chain, slots, unit_idx_by_block) for chain in units
+            self._compile_unit(chain, slots, unit_idx_by_block)
+            for chain in plan.units
         )
-        self.block_names = tuple(chain[-1].name for chain in units)
+        self.block_names = tuple(chain[-1].name for chain in plan.units)
 
     def _getter(self, value, slots):
         """Compile operand access: constants fold to the captured value,

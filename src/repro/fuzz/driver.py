@@ -22,7 +22,11 @@ Targets select what each iteration exercises:
 * ``sched`` — a source program through the ``gpu``, ``hybrid`` and
   ``auto`` scheduler policies (hybrid must match gpu bit-for-bit; auto
   must match on outputs);
-* ``all`` — round-robin over the five targets.
+* ``vector`` — a source program through the compiled engine vs the
+  columnar vector engine on the GPU device: outputs, full region bytes,
+  traces, traps and trace-derived counters must all match bit-for-bit
+  whichever path (vectorized, rolled-back, or scalar-routed) ran;
+* ``all`` — round-robin over the six targets.
 
 Divergences are shrunk by :mod:`repro.fuzz.reduce` with the same oracle
 as predicate and written to the corpus directory (default
@@ -44,11 +48,12 @@ from .oracle import (
     source_engine_divergences,
     source_pass_divergences,
     source_sched_divergences,
+    source_vector_divergences,
 )
 from .reduce import reduce_ir_program, reduce_source_program
 from .srcgen import SourceProgram, generate_source_program
 
-TARGETS = ("engines", "passes", "ir", "frontend", "sched")
+TARGETS = ("engines", "passes", "ir", "frontend", "sched", "vector")
 
 #: Forced feature-flag rotations for the ``frontend`` target.
 _FRONTEND_FORCES = (
@@ -176,6 +181,14 @@ class FuzzDriver:
                 target,
                 None,
             )
+        if target == "vector":
+            return (
+                source_vector_divergences(program),
+                "source",
+                program,
+                target,
+                None,
+            )
         # passes: rotate one disabled pass per iteration; every full
         # rotation also cross-checks the paper's four configurations.
         from ..passes.pipeline import DISABLEABLE_PASSES
@@ -204,6 +217,8 @@ class FuzzDriver:
             return lambda p: bool(ir_divergences(p))
         if target == "sched":
             return lambda p: bool(source_sched_divergences(p))
+        if target == "vector":
+            return lambda p: bool(source_vector_divergences(p))
         if target == "passes":
             if detail == "configs":
                 return lambda p: bool(source_config_divergences(p))

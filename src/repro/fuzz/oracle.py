@@ -279,6 +279,59 @@ def source_engine_divergences(program: SourceProgram) -> list:
     return diffs
 
 
+def source_vector_divergences(program: SourceProgram) -> list:
+    """Columnar vector engine vs threaded-code engine, bit-for-bit.
+
+    The vector backend promises trace/region identity whichever path a
+    kernel takes (vectorized, rolled back + rerun scalar, or routed
+    scalar outright), so the oracle holds it to the full bar: outputs,
+    every region byte, execution traces, traps — plus the trace-derived
+    ``engine.*`` / ``mem_events.*`` counters, compared via the observer.
+    """
+    from ..backend.vector import clear_memos
+    from ..obs import Observer
+    from ..runtime import compile_source
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            compiled = compile_source(program.source, OptConfig.gpu_all())
+        except Exception:
+            return []
+    # The backend memoizes per-kernel classification process-wide (a
+    # perf heuristic); clear it so every iteration genuinely exercises
+    # the optimistic vector path instead of a remembered fallback.
+    clear_memos()
+    obs_com = Observer()
+    com = run_source_program(
+        program, engine="compiled", device="gpu", keep_traces=True,
+        compiled=compiled, observer=obs_com,
+    )
+    obs_vec = Observer()
+    vec = run_source_program(
+        program, engine="vector", device="gpu", keep_traces=True,
+        compiled=compiled, observer=obs_vec,
+    )
+    diffs = compare_outcomes(
+        com, vec, "compiled/gpu", "vector/gpu", region="full", traces=True,
+    )
+    counters_a = obs_com.counters.as_dict()
+    counters_b = obs_vec.counters.as_dict()
+    prefixes = ("engine.", "mem_events.", "gpu.")
+    names = sorted(
+        name
+        for name in set(counters_a) | set(counters_b)
+        if name.startswith(prefixes)
+    )
+    for name in names:
+        a, b = counters_a.get(name, 0), counters_b.get(name, 0)
+        if a != b:
+            diffs.append(
+                f"counter {name}: compiled/gpu={a} vs vector/gpu={b}"
+            )
+    return diffs
+
+
 def source_pass_divergences(
     program: SourceProgram, pass_names=None
 ) -> list:

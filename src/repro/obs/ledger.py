@@ -1,8 +1,10 @@
 """Persisted benchmark ledger with a regression gate (``repro bench``).
 
 Each invocation sweeps the evaluation workloads across the paper's five
-configurations (multicore CPU plus the four GPU variants of section 5)
-and a ``HYBRID`` column (the CPU+GPU partitioning scheduler), measures both *simulated* device time and *host wall-clock* simulation
+configurations (multicore CPU plus the four GPU variants of section 5),
+a ``HYBRID`` column (the CPU+GPU partitioning scheduler) and a
+``VECTOR`` column (the fully optimized program on the columnar NumPy
+engine), measures both *simulated* device time and *host wall-clock* simulation
 throughput, and appends a schema-versioned ``BENCH_<n>.json`` entry at
 the ledger directory (the repo root, by convention).  Committing the
 entries gives the project a durable perf history; CI's ``perf-smoke``
@@ -126,16 +128,20 @@ def run_benchmarks(
         fixed_calibration if fixed_calibration is not None else calibrate()
     )
 
-    configs = [("CPU", OptConfig.gpu_all(), True, None)]
-    configs += [(c.label, c, False, None) for c in OptConfig.all_configs()]
+    configs = [("CPU", OptConfig.gpu_all(), True, None, None)]
+    configs += [(c.label, c, False, None, None) for c in OptConfig.all_configs()]
     # Hybrid CPU+GPU partitioning on the fully optimized program — the
     # scheduler column of the sweep (see repro.sched).
-    configs += [("HYBRID", OptConfig.gpu_all(), False, "hybrid")]
+    configs += [("HYBRID", OptConfig.gpu_all(), False, "hybrid", None)]
+    # The fully optimized program on the columnar vector engine — same
+    # simulated seconds as GPU_ALL (traces are bit-identical), but the
+    # wall-clock columns record how fast the columnar engine simulates.
+    configs += [("VECTOR", OptConfig.gpu_all(), False, None, "vector")]
 
     results = []
     for name in names:
         workload_cls = registry[name]
-        for label, config, on_cpu, policy in configs:
+        for label, config, on_cpu, policy, engine_override in configs:
             if fixed_calibration is not None:
                 cell_calibration = fixed_calibration
             else:
@@ -144,7 +150,8 @@ def run_benchmarks(
             best = None
             for _ in range(max(1, repeats)):
                 sim, wall, instructions = _measure_once(
-                    workload, config, system, on_cpu, scale, engine, policy
+                    workload, config, system, on_cpu, scale,
+                    engine_override or engine, policy
                 )
                 if best is None or wall < best[1]:
                     best = (sim, wall, instructions)

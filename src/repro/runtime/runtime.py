@@ -118,9 +118,10 @@ class ConcordRuntime:
         observer=None,
         policy: str = DEFAULT_POLICY,
     ):
-        if engine not in ("compiled", "reference"):
+        if engine not in ("compiled", "reference", "vector"):
             raise ValueError(
-                f"unknown engine {engine!r} (expected 'compiled' or 'reference')"
+                f"unknown engine {engine!r} "
+                "(expected 'compiled', 'reference' or 'vector')"
             )
         self.program = program
         self.system = system or ultrabook()
@@ -159,7 +160,17 @@ class ConcordRuntime:
         self._gpu_function_cache: dict[tuple, object] = {}
         self.total_gpu_report = DeviceReport(device="gpu", seconds=0, energy_joules=0)
         self.total_cpu_report = DeviceReport(device="cpu", seconds=0, energy_joules=0)
-        self.backends = {"cpu": CpuBackend(self), "gpu": GpuBackend(self)}
+        # The vector engine swaps the GPU backend for the columnar one —
+        # scalar per-lane execution survives underneath it as the
+        # per-kernel fallback (and the CPU backend is untouched: the
+        # multicore path models per-thread execution, not warps).
+        if engine == "vector":
+            from ..backend.vector import VectorBackend
+
+            gpu_backend = VectorBackend(self)
+        else:
+            gpu_backend = GpuBackend(self)
+        self.backends = {"cpu": CpuBackend(self), "gpu": gpu_backend}
         self.scheduler = Scheduler(self, policy=policy)
         self._load_program()
 
@@ -367,7 +378,7 @@ class ConcordRuntime:
         MemEvent object per access)."""
         if cap is None:
             cap = self.mem_event_cap
-        if self.engine == "compiled":
+        if self.engine in ("compiled", "vector"):
             return ExecTrace(mem_events=MemEventColumns(), mem_event_cap=cap)
         return ExecTrace(mem_event_cap=cap)
 
@@ -387,7 +398,10 @@ class ConcordRuntime:
         if collect_mem_events is None:
             collect_mem_events = self.collect_mem_events
         counters = self.obs.counters if self.obs is not None else None
-        if self.engine == "compiled":
+        # The vector engine executes whole chunks in the backend; any
+        # *scalar* engine it needs (host calls, per-kernel fallback) is
+        # the threaded-code one.
+        if self.engine in ("compiled", "vector"):
             return CompiledEngine(
                 self.region,
                 device=device,

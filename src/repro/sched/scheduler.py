@@ -99,8 +99,12 @@ class Scheduler:
         self.rt = rt
         self.policy = policy
         self._policies = {name: cls() for name, cls in POLICIES.items()}
-        #: (body-class name, device) -> [items, device seconds] observed;
-        #: every recorded launch/chunk refines the throughput estimates.
+        #: (body-class name, device) -> [items, device seconds] observed,
+        #: plus an engine-qualified (key, device, engine) row per
+        #: observation; every recorded launch/chunk refines the estimates.
+        #: The engine rows let placement prefer measurements from the lane
+        #: engine actually running (columnar vector vs threaded-code) and
+        #: keep profiles seeded from one engine from mispricing another.
         self.history: dict[tuple, list] = {}
         self.repartitions = 0
 
@@ -118,6 +122,15 @@ class Scheduler:
         """History key: the body class is stable across the CPU/GPU kernel
         forms (whose IR function names differ)."""
         return kinfo.body_class.name
+
+    def engine_of(self, device: str) -> str:
+        """The lane engine executing on ``device`` in this runtime.  The
+        vector engine only replaces the GPU backend; CPU lanes (and the
+        vector backend's own per-kernel fallback) run threaded code."""
+        engine = self.rt.engine
+        if device != "gpu" and engine == "vector":
+            return "compiled"
+        return engine
 
     # -- dispatch ----------------------------------------------------------
 
@@ -150,17 +163,37 @@ class Scheduler:
 
     # -- throughput history ------------------------------------------------
 
-    def record(self, key: str, device: str, items: int, seconds: float) -> None:
+    def record(
+        self,
+        key: str,
+        device: str,
+        items: int,
+        seconds: float,
+        engine: Optional[str] = None,
+    ) -> None:
         if items <= 0 or seconds <= 0.0:
             return
-        entry = self.history.setdefault((key, device), [0, 0.0])
-        entry[0] += items
-        entry[1] += seconds
+        if engine is None:
+            engine = self.engine_of(device)
+        for hkey in ((key, device), (key, device, engine)):
+            entry = self.history.setdefault(hkey, [0, 0.0])
+            entry[0] += items
+            entry[1] += seconds
 
-    def throughput(self, key: str, device: str) -> Optional[float]:
+    def throughput(
+        self, key: str, device: str, engine: Optional[str] = None
+    ) -> Optional[float]:
         """Observed items/second for one kernel on one device, or ``None``
-        before any measurement."""
-        entry = self.history.get((key, device))
+        before any measurement.  Measurements taken under the engine that
+        will actually run (``engine``, defaulting to this runtime's) are
+        preferred; the per-device aggregate is the fallback, so history
+        seeded by an older profile without engine rows still primes the
+        estimate."""
+        if engine is None:
+            engine = self.engine_of(device)
+        entry = self.history.get((key, device, engine))
+        if entry is None:
+            entry = self.history.get((key, device))
         if entry is None or entry[1] <= 0.0:
             return None
         return entry[0] / entry[1]
@@ -185,6 +218,11 @@ class Scheduler:
             key = self.key_of(kinfo)
             names[kinfo.kernel.name] = key
             names[kinfo.gpu_kernel.name] = key
+        # Profiles record which lane engine produced them (meta.engine);
+        # seed the matching engine-qualified rows so a vector-engine
+        # profile doesn't skew placement for a threaded-code runtime (or
+        # vice versa).  CPU lanes always ran threaded code under vector.
+        profile_engine = (doc.get("meta") or {}).get("engine")
         seeded = 0
         for construct in doc.get("constructs", []):
             device = construct.get("device")
@@ -195,7 +233,10 @@ class Scheduler:
             phases = construct.get("phases") or {}
             seconds = phases.get("launch", construct.get("seconds", 0.0))
             if n and seconds:
-                self.record(key, device, n, seconds)
+                engine = profile_engine or "unknown"
+                if engine == "vector" and device != "gpu":
+                    engine = "compiled"
+                self.record(key, device, n, seconds, engine=engine)
                 seeded += 1
         return seeded
 

@@ -363,6 +363,7 @@ class TestLedger:
             ("BFS", "GPU+L3OPT"),
             ("BFS", "GPU+ALL"),
             ("BFS", "HYBRID"),
+            ("BFS", "VECTOR"),
         }
         for row in doc["results"]:
             assert row["instructions"] > 0
@@ -386,14 +387,14 @@ class TestLedger:
             if row["config"] == "GPU":
                 row["norm_instr_per_s"] = row["norm_instr_per_s"] * 0.9
         diffs = diff_ledgers(old, new)
-        assert len(diffs) == 6
+        assert len(diffs) == 7
         failing = regressions(diffs, threshold=0.15)
         assert [d["config"] for d in failing] == ["GPU+ALL"]
         assert failing[0]["delta"] == pytest.approx(-0.5)
         # The gate judges the geomean: one noisy cell at -50% plus one
-        # at -10% across six cells stays just inside a 15% threshold.
+        # at -10% across seven cells stays just inside a 15% threshold.
         overall = geomean_delta(diffs)
-        assert overall == pytest.approx((0.5 * 0.9) ** (1 / 6) - 1)
+        assert overall == pytest.approx((0.5 * 0.9) ** (1 / 7) - 1)
         assert -0.15 < overall < 0
 
     def test_fixed_calibration_pins_every_cell(self):
