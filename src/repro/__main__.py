@@ -5,20 +5,20 @@ Usage::
     python -m repro compile FILE.cpp [--config GPU|GPU+PTROPT|GPU+L3OPT|GPU+ALL]
                                       [--emit ir|opencl|stats|kernels]
     python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
-                                      [--policy cpu|gpu|auto|hybrid]
+                                      [--policy cpu|gpu|auto|hybrid] [--graph]
                                       [--engine compiled|reference|vector]
     python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference|vector]
                                       [--system ultrabook|desktop] [--on-cpu]
-                                      [--policy cpu|gpu|auto|hybrid]
+                                      [--policy cpu|gpu|auto|hybrid] [--graph]
                                       [--format json|csv] [--output FILE]
                                       [--trace FILE.json]
     python -m repro annotate WORKLOAD [--scale S] [--engine compiled|reference|vector]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--top N] [--format text|json] [--output FILE]
-    python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check]
+    python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check] [--graph]
                           [--workloads NAME ...] [--engine compiled|reference|vector]
     python -m repro fuzz [--seed N] [--iterations K]
-                         [--target all|frontend|ir|passes|engines|sched|vector]
+                         [--target all|frontend|ir|passes|engines|sched|vector|graph]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
                          [--trace FILE.json]
 
@@ -37,6 +37,9 @@ and ``fuzz`` additionally writes a Chrome ``trace_event`` file loadable
 in about://tracing or Perfetto.  ``fuzz`` runs a deterministic
 differential-fuzzing campaign (see ``docs/FUZZING.md``), exits non-zero
 on any divergence, and writes reduced reproducers to ``--corpus``.
+``--graph`` routes submissions through the task-graph runtime
+(``docs/GRAPH.md``): ``run`` and ``profile`` report the overlap stats,
+``bench`` appends the overlap-pipeline ledger rows.
 """
 
 from __future__ import annotations
@@ -95,6 +98,11 @@ def main(argv=None) -> int:
         default=None,
         help="scheduler placement policy (overrides --on-cpu)",
     )
+    run_parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="submit through the task-graph runtime and report overlap stats",
+    )
 
     profile_parser = sub.add_parser(
         "profile", help="run a registered workload under the observability layer"
@@ -113,6 +121,11 @@ def main(argv=None) -> int:
         choices=_policy_names(),
         default=None,
         help="scheduler placement policy (overrides --on-cpu)",
+    )
+    profile_parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="run the workload through the task-graph runtime",
     )
     profile_parser.add_argument("--no-validate", action="store_true")
     profile_parser.add_argument("--format", choices=["json", "csv"], default="json")
@@ -182,6 +195,11 @@ def main(argv=None) -> int:
         default=None,
         help="regression threshold as a fraction (default 0.15)",
     )
+    bench_parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="append task-graph overlap pipeline rows to the entry",
+    )
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="run a differential fuzzing campaign"
@@ -190,7 +208,16 @@ def main(argv=None) -> int:
     fuzz_parser.add_argument("--iterations", type=int, default=200)
     fuzz_parser.add_argument(
         "--target",
-        choices=["all", "frontend", "ir", "passes", "engines", "sched", "vector"],
+        choices=[
+            "all",
+            "frontend",
+            "ir",
+            "passes",
+            "engines",
+            "sched",
+            "vector",
+            "graph",
+        ],
         default="all",
     )
     fuzz_parser.add_argument(
@@ -271,7 +298,11 @@ def main(argv=None) -> int:
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
     rt = ConcordRuntime(
-        program, system, engine=args.engine, policy=args.policy or "gpu"
+        program,
+        system,
+        engine=args.engine,
+        policy=args.policy or "gpu",
+        graph=args.graph,
     )
     try:
         body = rt.new(args.body)
@@ -295,6 +326,14 @@ def main(argv=None) -> int:
         f"{args.body}: device={report.device} n={args.n} "
         f"time={report.seconds:.3e}s energy={report.energy_joules:.3e}J"
     )
+    if args.graph:
+        stats = rt.wait()
+        print(
+            f"graph: {stats.executed} construct(s), {stats.waves} wave(s), "
+            f"{sum(stats.edges.values())} edge(s), "
+            f"wall {stats.wall_seconds:.3e}s "
+            f"(sync {stats.sync_seconds:.3e}s, {stats.speedup:.2f}x)"
+        )
     return 0
 
 
@@ -322,6 +361,7 @@ def _profile(args) -> int:
             validate=not args.no_validate,
             observer=observer,
             policy=args.policy,
+            graph=args.graph,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -419,6 +459,7 @@ def _bench(args) -> int:
         engine=args.engine,
         workloads=args.workloads,
         progress=lambda line: print(line, flush=True),
+        graph=args.graph,
     )
     path = write_entry(doc, args.dir)
     print(f"ledger entry: {path}")

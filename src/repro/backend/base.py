@@ -63,6 +63,12 @@ class Backend(abc.ABC):
         """One-time per-kernel setup (e.g. the GPU's vendor JIT); returns
         the simulated seconds charged to *this* call (0.0 when cached)."""
 
+    def jit_preview(self, kinfo) -> float:
+        """The cost :meth:`prepare` would charge for this kernel *without*
+        performing the setup — the task graph's compile-ahead estimate.
+        Backends with no one-time setup preview as free."""
+        return 0.0
+
     @abc.abstractmethod
     def launch(
         self,

@@ -83,6 +83,20 @@ class GpuBackend(Backend):
         cache.finalized = True
         return cache.jit_seconds
 
+    def jit_preview(self, kinfo) -> float:
+        """The JIT cost :meth:`prepare` *would* charge for this kernel,
+        without finalizing the cache entry — the task graph's compile-ahead
+        lane prices queued compilations with it at submission time."""
+        rt = self.rt
+        key = (rt.program.program_id, kinfo.gpu_kernel.name)
+        cache = rt._gpu_function_cache.get(key)
+        if cache is not None and cache.finalized:
+            return 0.0
+        instructions = sum(
+            len(block.instructions) for block in kinfo.gpu_kernel.blocks
+        )
+        return instructions * _runtime_mod().JIT_SECONDS_PER_INSTRUCTION
+
     def _gpu_traces(self, kernel, span: range, args_of, budget=None) -> list:
         traces = []
         rt = self.rt

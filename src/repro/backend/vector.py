@@ -60,6 +60,17 @@ def clear_memos() -> None:
     _SCALAR_KERNELS.clear()
     _GNARLY_KERNELS.clear()
 
+
+def reset_process_caches() -> None:
+    """Reset *every* process-wide vector-engine cache, not just the
+    classification memos: ``_SHARED_CACHES`` keeps compiled columnar
+    kernels keyed by svm_const, which :func:`clear_memos` never touched —
+    an oracle run could therefore replay a kernel compiled under an
+    earlier iteration's region layout.  Fuzz oracles call this between
+    runs so each one starts from a genuinely cold process state."""
+    clear_memos()
+    _SHARED_CACHES.clear()
+
 # Below this active-lane-slot ratio the dense segments are so small that
 # per-ufunc overhead beats the scalar engine; measured once on the first
 # vector launch of a kernel, then routed scalar for the process.

@@ -3,6 +3,14 @@ evaluation (Table 1, Figure 6, Figures 7-10, the section 5.4 SVM-overhead
 study)."""
 
 from .figures import FigureData, figure7, figure8, figure9, figure10
+from .overlap import (
+    OverlapFigure,
+    OverlapPoint,
+    measure_bfs_pipeline,
+    measure_bh_batch,
+    measure_overlap,
+    overlap_rows,
+)
 from .runner import (
     GPU_CONFIG_LABELS,
     Measurement,
@@ -20,6 +28,8 @@ __all__ = [
     "GPU_CONFIG_LABELS",
     "Measurement",
     "OverheadPoint",
+    "OverlapFigure",
+    "OverlapPoint",
     "WORKLOAD_ORDER",
     "clear_cache",
     "figure10",
@@ -32,7 +42,11 @@ __all__ = [
     "format_table1",
     "geomean",
     "measure_all",
+    "measure_bfs_pipeline",
+    "measure_bh_batch",
+    "measure_overlap",
     "measure_svm_overhead",
     "measure_workload",
+    "overlap_rows",
     "table1_rows",
 ]

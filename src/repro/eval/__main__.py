@@ -7,6 +7,7 @@ Usage::
     python -m repro.eval fig7 [--scale 0.5]
     python -m repro.eval fig8 | fig9 | fig10
     python -m repro.eval svm
+    python -m repro.eval overlap
     python -m repro.eval all
     python -m repro.eval fig7 --trace eval-trace.json
 
@@ -30,7 +31,18 @@ from . import (
     format_table1,
 )
 
-EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "fig10", "svm", "report", "all")
+EXPERIMENTS = (
+    "table1",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "svm",
+    "overlap",
+    "report",
+    "all",
+)
 
 
 def main(argv=None) -> int:
@@ -69,6 +81,10 @@ def main(argv=None) -> int:
             print(figure10(args.scale).render())
         elif experiment == "svm":
             print(format_svm_overhead())
+        elif experiment == "overlap":
+            from .overlap import measure_overlap
+
+            print(measure_overlap(scale=args.scale).render())
         elif experiment == "report":
             from .report import generate_report
 

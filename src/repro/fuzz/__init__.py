@@ -10,7 +10,7 @@ campaign driver (:mod:`repro.fuzz.driver`) that writes reduced
 reproducers into ``tests/corpus/``.
 
 Entry point: ``python -m repro fuzz --seed N --iterations K
---target {all,frontend,ir,passes,engines,sched}``.
+--target {all,frontend,ir,passes,engines,sched,vector,graph}``.
 """
 
 from .driver import (
@@ -31,8 +31,10 @@ from .oracle import (
     run_source_program,
     source_config_divergences,
     source_engine_divergences,
+    source_graph_divergences,
     source_pass_divergences,
     source_sched_divergences,
+    source_vector_divergences,
 )
 from .reduce import (
     ReductionResult,
@@ -67,7 +69,9 @@ __all__ = [
     "run_source_program",
     "source_config_divergences",
     "source_engine_divergences",
+    "source_graph_divergences",
     "source_pass_divergences",
     "source_sched_divergences",
+    "source_vector_divergences",
     "write_reproducer",
 ]

@@ -26,7 +26,12 @@ Targets select what each iteration exercises:
   columnar vector engine on the GPU device: outputs, full region bytes,
   traces, traps and trace-derived counters must all match bit-for-bit
   whichever path (vectorized, rolled-back, or scalar-routed) ran;
-* ``all`` — round-robin over the six targets.
+* ``graph`` — a DAG of ``for`` constructs with overlapping declared
+  read/write sets through the task-graph runtime: synchronous submission
+  order, ``wait()``-forced, and a random topological forcing order must
+  all agree bit-for-bit (the inferred RAW/WAR/WAW edges must serialize
+  every true conflict);
+* ``all`` — round-robin over the seven targets.
 
 Divergences are shrunk by :mod:`repro.fuzz.reduce` with the same oracle
 as predicate and written to the corpus directory (default
@@ -46,6 +51,7 @@ from .oracle import (
     ir_divergences,
     source_config_divergences,
     source_engine_divergences,
+    source_graph_divergences,
     source_pass_divergences,
     source_sched_divergences,
     source_vector_divergences,
@@ -53,7 +59,7 @@ from .oracle import (
 from .reduce import reduce_ir_program, reduce_source_program
 from .srcgen import SourceProgram, generate_source_program
 
-TARGETS = ("engines", "passes", "ir", "frontend", "sched", "vector")
+TARGETS = ("engines", "passes", "ir", "frontend", "sched", "vector", "graph")
 
 #: Forced feature-flag rotations for the ``frontend`` target.
 _FRONTEND_FORCES = (
@@ -164,6 +170,19 @@ class FuzzDriver:
                 target,
                 None,
             )
+        if target == "graph":
+            # Reductions allocate order-dependent scratch; the DAG oracle
+            # only reorders pure-heap `for` constructs.
+            program = generate_source_program(
+                rng, seed=i, force={"construct": "for"}
+            )
+            return (
+                source_graph_divergences(program),
+                "source",
+                program,
+                target,
+                None,
+            )
         program = generate_source_program(rng, seed=i)
         if target == "engines":
             return (
@@ -219,6 +238,8 @@ class FuzzDriver:
             return lambda p: bool(source_sched_divergences(p))
         if target == "vector":
             return lambda p: bool(source_vector_divergences(p))
+        if target == "graph":
+            return lambda p: bool(source_graph_divergences(p))
         if target == "passes":
             if detail == "configs":
                 return lambda p: bool(source_config_divergences(p))

@@ -288,7 +288,7 @@ def source_vector_divergences(program: SourceProgram) -> list:
     every region byte, execution traces, traps — plus the trace-derived
     ``engine.*`` / ``mem_events.*`` counters, compared via the observer.
     """
-    from ..backend.vector import clear_memos
+    from ..backend.vector import reset_process_caches
     from ..obs import Observer
     from ..runtime import compile_source
 
@@ -298,10 +298,12 @@ def source_vector_divergences(program: SourceProgram) -> list:
             compiled = compile_source(program.source, OptConfig.gpu_all())
         except Exception:
             return []
-    # The backend memoizes per-kernel classification process-wide (a
-    # perf heuristic); clear it so every iteration genuinely exercises
-    # the optimistic vector path instead of a remembered fallback.
-    clear_memos()
+    # The backend memoizes per-kernel classification process-wide (a perf
+    # heuristic) and keeps compiled columnar kernels keyed by svm_const;
+    # reset all of it so every iteration genuinely exercises the
+    # optimistic vector path from a cold state instead of a remembered
+    # fallback (or a kernel compiled under an earlier iteration's layout).
+    reset_process_caches()
     obs_com = Observer()
     com = run_source_program(
         program, engine="compiled", device="gpu", keep_traces=True,
@@ -406,6 +408,156 @@ def source_sched_divergences(program: SourceProgram) -> list:
     diffs.extend(compare_outcomes(
         base, auto, "policy/gpu", "policy/auto", region="none"
     ))
+    return diffs
+
+
+def _graph_dag_plan(program: SourceProgram, constructs: int = 5):
+    """A deterministic DAG plan for one generated program: ``constructs``
+    instances of its kernel over a small pool of shared arrays, so
+    read/write sets overlap and dependency edges form.  The plan depends
+    only on the program (same structure for every execution mode)."""
+    import random
+
+    rng = random.Random(program.seed * 48271 + 7)
+    return [
+        (rng.randrange(3), rng.randrange(2)) for _ in range(constructs)
+    ]
+
+
+def _run_graph_dag(
+    program: SourceProgram, compiled, plan, mode: str, order=None
+) -> Outcome:
+    """Execute the DAG plan in one mode: ``"sync"`` runs each construct
+    synchronously in submission order, ``"graph"`` submits everything and
+    forces via ``wait()`` (submission order), ``"shuffled"`` submits
+    everything and forces the futures in a seed-derived permutation — a
+    random topological order once inferred dependencies are honored.
+    ``order`` overrides the shuffled permutation (property tests force
+    arbitrary caller-chosen orders)."""
+    import random
+
+    from ..ir.types import F32, I32
+    from ..runtime import ConcordRuntime, ultrabook
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        rt = ConcordRuntime(
+            compiled, ultrabook(), region_size=FUZZ_REGION_SIZE
+        )
+        n, aux_len = program.n, program.aux_len
+        # Shared pools: three data (+float) arrays, two aux arrays.
+        # Constructs picking the same pool slot must serialize; disjoint
+        # picks may reorder freely.
+        datas = [rt.new_array(I32, n) for _ in range(3)]
+        auxes = [rt.new_array(I32, aux_len) for _ in range(2)]
+        for k, arr in enumerate(datas):
+            arr.fill_from(
+                [program.data[(i + k) % n] for i in range(n)]
+            )
+        for k, arr in enumerate(auxes):
+            arr.fill_from(
+                [program.aux[(i + k) % aux_len] for i in range(aux_len)]
+            )
+        fdatas = []
+        if program.uses_floats:
+            fdatas = [rt.new_array(F32, n) for _ in range(3)]
+            for arr in fdatas:
+                arr.fill_from(program.fdata)
+        submissions = []
+        for data_idx, aux_idx in plan:
+            body = rt.new(program.class_name)
+            body.data = datas[data_idx]
+            body.aux = auxes[aux_idx]
+            body.s0 = program.s0
+            body.s1 = program.s1
+            if program.uses_floats:
+                body.fdata = fdatas[data_idx]
+            obj = None
+            if program.uses_virtual:
+                obj = rt.new(program.virtual_class)
+                obj.salt = program.salt
+                body.obj = obj
+            accessed = [datas[data_idx], auxes[aux_idx]]
+            if program.uses_floats:
+                accessed.append(fdatas[data_idx])
+            reads = list(accessed)
+            if obj is not None:
+                reads.append(obj)
+            writes = accessed + [body]  # kernels may mutate body fields
+            submissions.append((body, reads, writes))
+        try:
+            if mode == "sync":
+                for body, _, _ in submissions:
+                    rt.parallel_for_hetero(n, body)
+            else:
+                futures = [
+                    rt.submit(n, body, reads=reads, writes=writes)
+                    for body, reads, writes in submissions
+                ]
+                if mode == "shuffled":
+                    if order is None:
+                        order = list(range(len(futures)))
+                        random.Random(program.seed ^ 0xA5A5A5).shuffle(order)
+                    for index in order:
+                        futures[index].result()
+                rt.wait()
+        except (ExecutionError, MemoryFault) as exc:
+            return Outcome(ok=False, trap=type(exc).__name__)
+        outputs = {
+            f"data{k}": arr.to_list() for k, arr in enumerate(datas)
+        }
+        outputs.update(
+            {f"aux{k}": arr.to_list() for k, arr in enumerate(auxes)}
+        )
+        for k, arr in enumerate(fdatas):
+            outputs[f"fdata{k}"] = arr.to_list()
+        return Outcome(
+            ok=True,
+            outputs=outputs,
+            region_digest=_digest(rt.region.physical.data),
+            heap_digest=_heap_digest(rt.region, compiled.module),
+        )
+
+
+def source_graph_divergences(program: SourceProgram) -> list:
+    """Task-graph runtime vs sequential submission order.
+
+    A DAG of ``for`` constructs with overlapping declared read/write
+    sets must produce bit-identical results whether it runs (a)
+    synchronously in submission order, (b) deferred through the graph
+    and forced by ``wait()``, or (c) deferred and forced in a random
+    topological order — (c) holds only if the inferred RAW/WAR/WAW edges
+    actually serialize every true conflict.  Restricted to ``for``
+    bodies: reductions allocate per-device scratch, so their region
+    layout is execution-order-dependent by design.
+    """
+    from ..backend.vector import reset_process_caches
+    from ..runtime import compile_source
+
+    if program.construct != "for":
+        return []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            compiled = compile_source(program.source, OptConfig.gpu_all())
+        except Exception:
+            # Frontend rejection is mode-independent: nothing to compare.
+            return []
+    reset_process_caches()
+    plan = _graph_dag_plan(program)
+    sync = _run_graph_dag(program, compiled, plan, "sync")
+    graph = _run_graph_dag(program, compiled, plan, "graph")
+    diffs = compare_outcomes(
+        sync, graph, "graph/sync", "graph/wait", region="full"
+    )
+    # A trapping program aborts mid-DAG; which constructs ran before the
+    # trap is order-dependent, so the reordered comparison only applies
+    # to trap-free programs.
+    if sync.ok:
+        shuffled = _run_graph_dag(program, compiled, plan, "shuffled")
+        diffs.extend(compare_outcomes(
+            sync, shuffled, "graph/sync", "graph/shuffled", region="full"
+        ))
     return diffs
 
 

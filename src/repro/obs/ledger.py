@@ -104,13 +104,18 @@ def run_benchmarks(
     workloads: Optional[list] = None,
     calibration: Optional[float] = None,
     progress=None,
+    graph: bool = False,
 ) -> dict:
     """Sweep workloads × configurations and return a ledger entry.
 
     ``repeats`` runs each cell that many times and keeps the fastest wall
     clock (best-of-N damps scheduler noise; the simulated seconds are
     deterministic and identical across repeats).  ``progress`` is an
-    optional callable fed one line per finished cell.
+    optional callable fed one line per finished cell.  ``graph`` appends
+    one ``GRAPH`` row per task-graph overlap scenario (see
+    :mod:`repro.eval.overlap`); their simulated seconds join the perf
+    history while their zeroed throughput columns keep them out of the
+    wall-clock regression gate.
     """
     from ..eval.runner import WORKLOAD_ORDER
     from ..passes import OptConfig
@@ -177,6 +182,31 @@ def run_benchmarks(
                     f"{name:>20} {label:<10} {instructions:>12,} instr  "
                     f"{instr_per_s:>14,.0f} instr/s  sim {sim:.6f}s"
                 )
+    if graph:
+        from ..eval.overlap import overlap_rows
+
+        for point in overlap_rows(system, scale):
+            row = {
+                "workload": point["scenario"],
+                "config": "GRAPH",
+                "sim_seconds": point["graph_seconds"],
+                "wall_seconds": 0.0,
+                "instructions": 0,
+                "instr_per_s": 0.0,
+                "norm_instr_per_s": 0.0,
+                "graph_sync_seconds": point["sync_seconds"],
+                "graph_speedup": point["speedup"],
+                "graph_constructs": point["constructs"],
+                "graph_identical": point["identical"],
+            }
+            results.append(row)
+            if progress is not None:
+                progress(
+                    f"{point['scenario']:>20} {'GRAPH':<10} "
+                    f"{point['constructs']:>4} constructs  "
+                    f"overlap {point['speedup']:.2f}x  "
+                    f"sim {point['graph_seconds']:.6f}s"
+                )
     return {
         "schema": LEDGER_SCHEMA_VERSION,
         "meta": {
@@ -185,6 +215,7 @@ def run_benchmarks(
             "scale": scale,
             "repeats": repeats,
             "calibration_ops_per_s": run_calibration,
+            "graph": graph,
         },
         "results": results,
     }

@@ -142,6 +142,7 @@ def profile_workload(
     validate: bool = True,
     observer=None,
     policy: Optional[str] = None,
+    graph: bool = False,
 ) -> dict:
     """Compile, build, run and validate one workload under an observer and
     return its profile document.
@@ -176,6 +177,7 @@ def profile_workload(
             engine=engine,
             observer=observer,
             policy=policy,
+            graph=graph,
         )
     meta = {
         "workload": key,
@@ -186,6 +188,10 @@ def profile_workload(
     }
     if policy is not None:
         meta["policy"] = policy
+    if graph:
+        meta["graph"] = True
+        if outcome.graph_stats is not None:
+            meta["graph_stats"] = outcome.graph_stats.to_dict()
     return build_profile(observer, meta=meta)
 
 

@@ -2,7 +2,8 @@
 
 Emits the JSON object form of the Trace Event Format (the one
 ``about://tracing`` and Perfetto load directly): ``traceEvents`` plus
-``displayTimeUnit``/``otherData``.  Two threads of one process:
+``displayTimeUnit``/``otherData``.  Two threads of one process (plus two
+more when the run used the task-graph runtime):
 
 * **tid 0 — host (wall clock)**: every observer span as a complete
   ("X") event, positioned by its epoch-relative start time.  Nesting
@@ -12,6 +13,11 @@ Emits the JSON object form of the Trace Event Format (the one
   out sequentially from zero, each with its attributed phases (jit,
   launch, reduce_tree, host_join) as nested events and its engine
   counters as a counter ("C") sample.
+* **tids 2/3 — gpu/cpu (graph virtual)**: present only when the run used
+  the task-graph runtime (:mod:`repro.runtime.graph`).  Each
+  ``graph_construct`` span is positioned by its *virtual* start/finish
+  clocks, so independent constructs placed on different devices visibly
+  overlap.
 
 The document carries ``schema: repro.obs.trace/v1`` at top level (Chrome
 ignores unknown keys) and :func:`validate_trace` is the dependency-free
@@ -112,6 +118,37 @@ def _construct_events(constructs) -> list:
     return events
 
 
+#: tid per device on the task-graph virtual timeline (tids 0/1 are the
+#: host/device sequential tracks).
+_GRAPH_TIDS = {"gpu": 2, "cpu": 3}
+
+
+def _graph_events(span, events: list, seen_tids: set) -> None:
+    """Task-graph construct spans, positioned by their *virtual* clocks
+    on one track per device — overlapping constructs genuinely overlap
+    in Perfetto, unlike the sequential tid-1 layout."""
+    if span.category == "graph_construct":
+        device = span.attrs.get("device", "gpu")
+        tid = _GRAPH_TIDS.get(device, 2)
+        start = span.attrs.get("virtual_start", 0.0)
+        finish = span.attrs.get("virtual_finish", start)
+        seen_tids.add(tid)
+        events.append(
+            {
+                "name": span.name,
+                "cat": "graph_construct",
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": max(0.0, start * 1e6),
+                "dur": max(0.0, (finish - start) * 1e6),
+                "args": dict(span.attrs),
+            }
+        )
+    for child in span.children:
+        _graph_events(child, events, seen_tids)
+
+
 def build_trace(observer, meta: Optional[dict] = None) -> dict:
     """Assemble the Chrome-loadable trace document from an observer."""
     events = [
@@ -140,6 +177,22 @@ def build_trace(observer, meta: Optional[dict] = None) -> dict:
     for child in observer.root.children:
         events.extend(_span_events(child, 0))
     events.extend(_construct_events(observer.constructs))
+    graph_events: list = []
+    graph_tids: set = set()
+    _graph_events(observer.root, graph_events, graph_tids)
+    if graph_events:
+        names = {2: "gpu (graph virtual)", 3: "cpu (graph virtual)"}
+        for tid in sorted(graph_tids):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": names[tid]},
+                }
+            )
+        events.extend(graph_events)
     return {
         "schema": TRACE_SCHEMA_VERSION,
         "traceEvents": events,

@@ -13,6 +13,16 @@ from ..ir import Function, Instruction
 
 
 def dead_code_elimination(function: Function) -> bool:
+    """Runs to fixpoint: removing a dead alloca's stores can orphan the
+    stored values, which the next sweep then collects — one call leaves
+    nothing for a second call to find (idempotence)."""
+    changed = False
+    while _dce_round(function):
+        changed = True
+    return changed
+
+
+def _dce_round(function: Function) -> bool:
     if not function.blocks:
         return False
     changed = _remove_unreachable_blocks(function)

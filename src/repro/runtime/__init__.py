@@ -2,6 +2,7 @@
 
 from ..passes import OptConfig
 from .compiler import CompiledProgram, ConcordWarning, KernelInfo, compile_source
+from .graph import ConstructFuture, GraphError, GraphStats, RegionSpan, TaskGraph
 from .runtime import ConcordRuntime, ExecutionReport
 from .system import System, desktop, ultrabook
 
@@ -9,10 +10,15 @@ __all__ = [
     "CompiledProgram",
     "ConcordRuntime",
     "ConcordWarning",
+    "ConstructFuture",
     "ExecutionReport",
+    "GraphError",
+    "GraphStats",
     "KernelInfo",
     "OptConfig",
+    "RegionSpan",
     "System",
+    "TaskGraph",
     "compile_source",
     "desktop",
     "ultrabook",

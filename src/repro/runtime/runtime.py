@@ -74,6 +74,10 @@ class ExecutionReport:
     report: DeviceReport
     jit_seconds: float = 0.0
     fallback_reason: str = ""
+    #: Launch-only seconds per device for hybrid constructs (the split
+    #: scheduler's final virtual clocks).  ``None`` for single-device
+    #: runs — :meth:`per_device_seconds` derives those from ``device``.
+    device_seconds: Optional[dict] = None
 
     @property
     def seconds(self) -> float:
@@ -82,6 +86,18 @@ class ExecutionReport:
     @property
     def energy_joules(self) -> float:
         return self.report.energy_joules
+
+    def per_device_seconds(self) -> dict:
+        """Launch seconds by device — the task graph's unit of virtual
+        clock advancement.  Single-device reports occupy their device for
+        the whole launch; hybrid reports with recorded clocks occupy each
+        device for its own share, and unlabeled hybrid merges
+        conservatively occupy both devices for the full duration."""
+        if self.device_seconds is not None:
+            return dict(self.device_seconds)
+        if self.device in ("cpu", "gpu"):
+            return {self.device: self.report.seconds}
+        return {"gpu": self.report.seconds, "cpu": self.report.seconds}
 
     def __add__(self, other):
         """Merge two construct reports (sequential composition): seconds,
@@ -92,12 +108,18 @@ class ExecutionReport:
             return self
         if not isinstance(other, ExecutionReport):
             return NotImplemented
+        mine, theirs = self.per_device_seconds(), other.per_device_seconds()
+        merged = {
+            device: mine.get(device, 0.0) + theirs.get(device, 0.0)
+            for device in {*mine, *theirs}
+        }
         return ExecutionReport(
             device=self.device if self.device == other.device else "hybrid",
             n=self.n + other.n,
             report=self.report + other.report,
             jit_seconds=self.jit_seconds + other.jit_seconds,
             fallback_reason=self.fallback_reason or other.fallback_reason,
+            device_seconds=merged,
         )
 
     __radd__ = __add__
@@ -117,6 +139,8 @@ class ConcordRuntime:
         keep_traces: bool = False,
         observer=None,
         policy: str = DEFAULT_POLICY,
+        graph: bool = False,
+        graph_placement: str = "policy",
     ):
         if engine not in ("compiled", "reference", "vector"):
             raise ValueError(
@@ -172,6 +196,14 @@ class ConcordRuntime:
             gpu_backend = GpuBackend(self)
         self.backends = {"cpu": CpuBackend(self), "gpu": gpu_backend}
         self.scheduler = Scheduler(self, policy=policy)
+        # Async task-graph mode (repro.runtime.graph): when enabled, the
+        # parallel constructs route through submit().result() so their
+        # declared-conservative dependencies serialize them (bit-identical
+        # to synchronous), while explicit submit()/wait() callers get
+        # deferred execution with inter-construct overlap.
+        self.graph_mode = graph
+        self.graph_placement = graph_placement
+        self._task_graph = None
         self._load_program()
 
     # -- program loading (vtables + globals into the shared region) -----------
@@ -438,6 +470,47 @@ class ConcordRuntime:
             self._device_heap = DeviceBumpAllocator(self.region, base, slab_size)
         return self._device_heap
 
+    # -- task graph (repro.runtime.graph) ----------------------------------
+
+    @property
+    def task_graph(self):
+        """The runtime's task graph, created on first use (``submit`` or
+        graph-mode construct)."""
+        if self._task_graph is None:
+            from .graph import TaskGraph
+
+            self._task_graph = TaskGraph(self, placement=self.graph_placement)
+        return self._task_graph
+
+    def submit(
+        self,
+        n: int,
+        body,
+        construct: str = "for",
+        reads=None,
+        writes=None,
+        on_cpu: bool = False,
+        policy: Optional[str] = None,
+    ):
+        """Enqueue one deferred construct with declared region accesses
+        and return its :class:`~repro.runtime.graph.ConstructFuture` (see
+        ``docs/GRAPH.md``).  Omitting ``reads``/``writes`` falls back to a
+        conservative whole-region access."""
+        return self.task_graph.submit(
+            n,
+            body,
+            construct=construct,
+            reads=reads,
+            writes=writes,
+            on_cpu=on_cpu,
+            policy=policy,
+        )
+
+    def wait(self):
+        """Force every pending submitted construct; returns the graph's
+        :class:`~repro.runtime.graph.GraphStats`."""
+        return self.task_graph.wait()
+
     # -- parallel constructs --------------------------------------------------------
 
     def parallel_for_hetero(
@@ -446,12 +519,18 @@ class ConcordRuntime:
         """The paper's heterogeneous parallel-for.  ``on_cpu=True`` forces
         the multicore path; otherwise placement follows ``policy`` (this
         call's override, else the runtime's configured policy)."""
+        if self.graph_mode:
+            return self.submit(n, body, "for", on_cpu=on_cpu, policy=policy).result()
         kinfo = self._kernel_of(body)
         return self.scheduler.run(kinfo, n, body, "for", on_cpu=on_cpu, policy=policy)
 
     def parallel_reduce_hetero(
         self, n: int, body, on_cpu: bool = False, policy: Optional[str] = None
     ) -> ExecutionReport:
+        if self.graph_mode:
+            return self.submit(
+                n, body, "reduce", on_cpu=on_cpu, policy=policy
+            ).result()
         kinfo = self._kernel_of(body)
         if kinfo.construct != "reduce":
             raise TypeError(

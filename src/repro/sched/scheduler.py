@@ -403,8 +403,23 @@ class Scheduler:
             )
         from ..runtime.runtime import ExecutionReport
 
+        # The final virtual clocks are each device's launch occupancy —
+        # the task graph uses them to overlap this construct's halves
+        # with other constructs instead of conservatively blocking both
+        # devices for the merged wall time.
+        device_seconds = {
+            device: clock[device] for device in clock if items[device] > 0
+        }
+        if construct == "reduce" and join is not None and join.joined:
+            device_seconds["gpu"] = (
+                device_seconds.get("gpu", 0.0) + join.local_seconds
+            )
         return ExecutionReport(
-            device="hybrid", n=n, report=total, jit_seconds=jit_seconds
+            device="hybrid",
+            n=n,
+            report=total,
+            jit_seconds=jit_seconds,
+            device_seconds=device_seconds,
         )
 
     def _pick(self, tg, tc, clock, remaining, chunk_items, counters):

@@ -30,6 +30,8 @@ class RunOutcome:
     workload: str
     device: str
     reports: list[ExecutionReport] = field(default_factory=list)
+    #: GraphStats when the run went through the task-graph runtime
+    graph_stats: object = None
 
     @property
     def seconds(self) -> float:
@@ -82,6 +84,7 @@ class Workload(abc.ABC):
         keep_traces: bool = False,
         observer=None,
         policy: str = "gpu",
+        graph: bool = False,
     ) -> ConcordRuntime:
         program = cls.compile(config or OptConfig.gpu_all(), observer=observer)
         return ConcordRuntime(
@@ -93,6 +96,7 @@ class Workload(abc.ABC):
             keep_traces=keep_traces,
             observer=observer,
             policy=policy,
+            graph=graph,
         )
 
     @abc.abstractmethod
@@ -143,12 +147,17 @@ class Workload(abc.ABC):
         engine: str = "compiled",
         observer=None,
         policy: Optional[str] = None,
+        graph: bool = False,
     ) -> RunOutcome:
         """Convenience: compile, build, run, validate, aggregate.
 
         ``policy`` selects a scheduler placement policy (``cpu``, ``gpu``,
         ``auto``, ``hybrid``); when set, it overrides ``on_cpu`` and the
-        runtime dispatches every construct through that policy.
+        runtime dispatches every construct through that policy.  ``graph``
+        routes every construct through the task-graph runtime (deferred
+        submission with conservative whole-region dependencies — results
+        stay bit-identical; see ``docs/GRAPH.md``) and attaches the
+        graph's accounting to the outcome.
         """
         rt = self.make_runtime(
             config,
@@ -157,11 +166,13 @@ class Workload(abc.ABC):
             engine=engine,
             observer=observer,
             policy=policy or "gpu",
+            graph=graph,
         )
         if policy is not None:
             on_cpu = False
         state = self.build(rt, scale)
         reports = self.run(rt, state, on_cpu=on_cpu)
+        graph_stats = rt.wait() if graph else None
         if validate:
             self.validate(rt, state)
         if policy is not None:
@@ -172,6 +183,7 @@ class Workload(abc.ABC):
             workload=self.name,
             device=device,
             reports=reports,
+            graph_stats=graph_stats,
         )
 
 
