@@ -7,6 +7,8 @@ Usage::
     python -m repro run FILE.cpp --body CLASS --n N [--on-cpu] [--system ultrabook|desktop]
                                       [--policy cpu|gpu|auto|hybrid] [--graph]
                                       [--engine compiled|reference|vector]
+                                      [--flight-record DIR]
+                                      [--declared-check off|warn|trap]
     python -m repro profile WORKLOAD [--scale S] [--engine compiled|reference|vector]
                                       [--system ultrabook|desktop] [--on-cpu]
                                       [--policy cpu|gpu|auto|hybrid] [--graph]
@@ -20,7 +22,9 @@ Usage::
     python -m repro fuzz [--seed N] [--iterations K]
                          [--target all|frontend|ir|passes|engines|sched|vector|graph]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
-                         [--trace FILE.json]
+                         [--trace FILE.json] [--flight-record DIR]
+    python -m repro watch [--dir DIR] [--check] [--threshold F]
+                          [--format text|json] [--output FILE]
 
 ``compile`` parses and compiles a MiniC++ translation unit and prints the
 requested artifact for every heterogeneous body class found.  ``run``
@@ -40,6 +44,13 @@ on any divergence, and writes reduced reproducers to ``--corpus``.
 ``--graph`` routes submissions through the task-graph runtime
 (``docs/GRAPH.md``): ``run`` and ``profile`` report the overlap stats,
 ``bench`` appends the overlap-pipeline ledger rows.
+
+``--flight-record DIR`` arms the flight recorder (``docs/TELEMETRY.md``):
+any trap or fuzz divergence dumps a postmortem bundle — last-N telemetry
+events, live counters, open spans, and the trapping kernel + source line
+— into DIR.  ``watch`` aggregates the whole committed ``BENCH_*.json``
+history into per-(workload, config) trend series and prints a regression
+verdict; ``bench --check`` gates on the same full-history trend.
 """
 
 from __future__ import annotations
@@ -103,6 +114,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="submit through the task-graph runtime and report overlap stats",
     )
+    run_parser.add_argument(
+        "--flight-record",
+        default=None,
+        metavar="DIR",
+        help="dump a postmortem bundle into DIR if the kernel traps",
+    )
+    run_parser.add_argument(
+        "--declared-check",
+        choices=["off", "warn", "trap"],
+        default="off",
+        help="validate graph-mode accesses against declared sets",
+    )
 
     profile_parser = sub.add_parser(
         "profile", help="run a registered workload under the observability layer"
@@ -137,6 +160,18 @@ def main(argv=None) -> int:
         default=None,
         metavar="FILE",
         help="also write a Chrome trace_event JSON file",
+    )
+    profile_parser.add_argument(
+        "--flight-record",
+        default=None,
+        metavar="DIR",
+        help="dump a postmortem bundle into DIR if the workload traps",
+    )
+    profile_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="FILE",
+        help="stream telemetry events to FILE as JSON lines",
     )
 
     annotate_parser = sub.add_parser(
@@ -186,8 +221,8 @@ def main(argv=None) -> int:
     bench_parser.add_argument(
         "--check",
         action="store_true",
-        help="exit non-zero on a normalized-throughput regression vs the "
-        "last ledger entry",
+        help="exit non-zero on a normalized-throughput regression against "
+        "the full ledger history trend",
     )
     bench_parser.add_argument(
         "--threshold",
@@ -243,6 +278,40 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="also write a Chrome trace_event JSON file",
     )
+    fuzz_parser.add_argument(
+        "--flight-record",
+        default=None,
+        metavar="DIR",
+        help="write postmortem bundles for divergences into DIR "
+        "(defaults to the corpus directory when --corpus is given)",
+    )
+    fuzz_parser.add_argument(
+        "--no-flight-record",
+        action="store_true",
+        help="disable the campaign's default flight recorder",
+    )
+
+    watch_parser = sub.add_parser(
+        "watch", help="trend report over the whole benchmark ledger"
+    )
+    watch_parser.add_argument(
+        "--dir", default=".", help="ledger directory (default: current directory)"
+    )
+    watch_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when the trend verdict is a regression",
+    )
+    watch_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="regression threshold as a fraction (default 0.15)",
+    )
+    watch_parser.add_argument("--format", choices=["text", "json"], default="text")
+    watch_parser.add_argument(
+        "--output", default=None, help="write to FILE instead of stdout"
+    )
 
     args = parser.parse_args(argv)
     if args.command == "profile":
@@ -253,6 +322,8 @@ def main(argv=None) -> int:
         return _bench(args)
     if args.command == "fuzz":
         return _fuzz(args)
+    if args.command == "watch":
+        return _watch(args)
     try:
         with open(args.file) as handle:
             source = handle.read()
@@ -294,15 +365,26 @@ def main(argv=None) -> int:
 
     # run
     from .exec import ExecutionError
+    from .runtime.graph import DeclaredSetViolation
     from .svm import MemoryFault
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
+    observer = None
+    recorder = None
+    if args.flight_record:
+        from .obs import FlightRecorder, Observer, Telemetry
+
+        observer = Observer()
+        observer.attach_telemetry(Telemetry())
+        recorder = FlightRecorder(args.flight_record, observer=observer)
     rt = ConcordRuntime(
         program,
         system,
         engine=args.engine,
         policy=args.policy or "gpu",
         graph=args.graph,
+        observer=observer,
+        declared_check=args.declared_check,
     )
     try:
         body = rt.new(args.body)
@@ -313,7 +395,14 @@ def main(argv=None) -> int:
         report = rt.parallel_for_hetero(
             args.n, body, on_cpu=args.on_cpu and args.policy is None
         )
-    except (MemoryFault, ExecutionError) as exc:
+    except (MemoryFault, ExecutionError, DeclaredSetViolation) as exc:
+        if recorder is not None:
+            bundle = recorder.record(
+                exc,
+                runtime=rt,
+                context={"command": "run", "body": args.body, "n": args.n},
+            )
+            print(f"flight bundle: {bundle}", file=sys.stderr)
         print(
             f"error: kernel faulted: {exc}\n"
             f"note: `repro run` launches over a zero-initialized {args.body}; "
@@ -351,6 +440,16 @@ def _profile(args) -> int:
 
     system = ultrabook() if args.system == "ultrabook" else desktop()
     observer = Observer()
+    telemetry = None
+    recorder = None
+    if args.flight_record or args.events:
+        from .obs import FlightRecorder, JsonLinesSink, Telemetry
+
+        sinks = [JsonLinesSink(args.events)] if args.events else []
+        telemetry = Telemetry(sinks=sinks)
+        observer.attach_telemetry(telemetry)
+        if args.flight_record:
+            recorder = FlightRecorder(args.flight_record, observer=observer)
     try:
         doc = profile_workload(
             args.workload,
@@ -366,6 +465,18 @@ def _profile(args) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 1
+    except Exception as exc:
+        if recorder is not None:
+            bundle = recorder.record(
+                exc, context={"command": "profile", "workload": args.workload}
+            )
+            print(f"flight bundle: {bundle}", file=sys.stderr)
+        raise
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+            if args.events:
+                print(f"events: {args.events}", file=sys.stderr)
     try:
         validate_profile(doc)
     except ProfileSchemaError as exc:
@@ -469,21 +580,35 @@ def _bench(args) -> int:
     diffs = diff_ledgers(previous, doc)
     if diffs:
         print(format_diff(diffs, threshold))
-    # Individual cells are noisy at smoke scales; the gate judges the
-    # geomean across all comparable cells (a real regression moves them
-    # all), with per-cell drops surfaced above as warnings.
+    # Individual cells are noisy at smoke scales; per-cell drops are
+    # surfaced as warnings, and the gate judges the full-history trend
+    # through the watch module — the fresh entry against the best
+    # sustained level of every committed BENCH_<n>.json, so slow
+    # multi-PR drifts fail too, not just single-step regressions.
     failing = regressions(diffs, threshold)
     if failing:
         print(
             f"warning: {len(failing)} cell(s) dropped more than "
-            f"{threshold:.0%} in normalized kernel throughput",
+            f"{threshold:.0%} in normalized kernel throughput vs the "
+            "previous entry",
             file=sys.stderr,
         )
     overall = geomean_delta(diffs)
     if overall < -threshold:
         print(
+            f"warning: {overall:+.1%} geomean vs the previous entry",
+            file=sys.stderr,
+        )
+    from .obs.watch import build_watch_report, render_watch_report
+
+    report = build_watch_report(args.dir, threshold)
+    verdict = report["verdict"]
+    print(render_watch_report(report))
+    if not verdict["ok"]:
+        print(
             f"error: normalized kernel throughput regressed "
-            f"{overall:+.1%} geomean (threshold -{threshold:.0%})",
+            f"{verdict['geomean_drift']:+.1%} geomean against the ledger "
+            f"history trend (threshold -{threshold:.0%})",
             file=sys.stderr,
         )
         if args.check:
@@ -491,11 +616,58 @@ def _bench(args) -> int:
     return 0
 
 
+def _watch(args) -> int:
+    import json
+
+    from .obs.ledger import REGRESSION_THRESHOLD
+    from .obs.watch import (
+        build_watch_report,
+        render_watch_report,
+        validate_watch_report,
+    )
+
+    threshold = args.threshold if args.threshold is not None else REGRESSION_THRESHOLD
+    report = build_watch_report(args.dir, threshold)
+    validate_watch_report(report)
+    if args.format == "json":
+        rendered = json.dumps(report, indent=2) + "\n"
+    else:
+        rendered = render_watch_report(report) + "\n"
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendered)
+        verdict = report["verdict"]
+        print(
+            f"watch: {verdict['series']} series over {verdict['entries']} "
+            f"entr{'y' if verdict['entries'] == 1 else 'ies'}, "
+            f"{'OK' if verdict['ok'] else 'REGRESSED'} -> {args.output}"
+        )
+    else:
+        sys.stdout.write(rendered)
+    if args.check and not report["verdict"]["ok"]:
+        print(
+            f"error: ledger history trend regressed "
+            f"{report['verdict']['geomean_drift']:+.1%} geomean "
+            f"(threshold -{threshold:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _fuzz(args) -> int:
     from .fuzz import FuzzDriver
-    from .obs import Observer
+    from .obs import FlightRecorder, Observer, Telemetry
 
     observer = Observer()
+    observer.attach_telemetry(Telemetry())
+    # The campaign driver arms the flight recorder by default whenever
+    # there is somewhere to put bundles, so reduced reproducers ship with
+    # their postmortem context; --no-flight-record opts out.
+    flight_dir = args.flight_record or args.corpus
+    recorder = None
+    if flight_dir and not args.no_flight_record:
+        recorder = FlightRecorder(flight_dir, observer=observer)
     driver = FuzzDriver(
         seed=args.seed,
         iterations=args.iterations,
@@ -504,6 +676,7 @@ def _fuzz(args) -> int:
         observer=observer,
         reduce=not args.no_reduce,
         max_divergences=args.max_divergences,
+        flight_recorder=recorder,
     )
     report = driver.run(progress=lambda line: print(line, flush=True))
     print(report.summary())

@@ -57,7 +57,15 @@ class CpuBackend(Backend):
         kernel = kinfo.kernel
         for index in span:
             interp.global_id = index
-            interp.call_function(kernel, [body_addr, index])
+            try:
+                interp.call_function(kernel, [body_addr, index])
+            except BaseException as exc:
+                # Cold path: lane context for the flight recorder.
+                if not hasattr(exc, "trap_device"):
+                    exc.trap_device = self.name
+                    exc.trap_kernel = kernel.name
+                    exc.trap_global_id = index
+                raise
         interp.release_private_memory()
         if rt.keep_traces:
             rt.trace_log.append(trace)
@@ -89,7 +97,14 @@ class CpuBackend(Backend):
         kernel = kinfo.kernel
         for index in span:
             interp.global_id = index
-            interp.call_function(kernel, [copies[index], index])
+            try:
+                interp.call_function(kernel, [copies[index], index])
+            except BaseException as exc:
+                if not hasattr(exc, "trap_device"):
+                    exc.trap_device = self.name
+                    exc.trap_kernel = kernel.name
+                    exc.trap_global_id = index
+                raise
         interp.release_private_memory()
         if rt.keep_traces:
             rt.trace_log.append(trace)

@@ -124,7 +124,15 @@ class GpuBackend(Backend):
                 num_cores=rt.system.gpu.num_eus,
                 allocator=allocator,
             )
-            interp.call_function(kernel, args_of(index))
+            try:
+                interp.call_function(kernel, args_of(index))
+            except BaseException as exc:
+                # Cold path: lane context for the flight recorder.
+                if not hasattr(exc, "trap_device"):
+                    exc.trap_device = self.name
+                    exc.trap_kernel = kernel.name
+                    exc.trap_global_id = index
+                raise
             interp.release_private_memory()
             kept += len(trace.mem_events)
             traces.append(trace)

@@ -1649,6 +1649,16 @@ class CompiledFunction:
                     return result
                 else:
                     raise ExecutionError(block.message)
+        except BaseException as exc:
+            # Cold path: stamp the trapping superblock onto the escaping
+            # exception for the flight recorder (repro.obs.flight) — the
+            # innermost invocation wins, and Python 3.11 zero-cost
+            # exceptions make this free on the non-trapping path.
+            if not hasattr(exc, "trap_function"):
+                exc.trap_function = self.name
+                exc.trap_block_uids = block.uid_list
+                exc.trap_ir_function = self.function
+            raise
         finally:
             ctx._depth = depth
             # The fixed counters are linear in the block execution counts

@@ -313,7 +313,18 @@ class Interpreter:
                 if op == "unreachable":
                     raise ExecutionError(f"reached unreachable in {function.name}")
 
-                env[id(instr)] = self._execute(function, env, instr, depth)
+                try:
+                    env[id(instr)] = self._execute(function, env, instr, depth)
+                except BaseException as exc:
+                    # Cold path: stamp the trap site onto the escaping
+                    # exception for the flight recorder (repro.obs.flight).
+                    # The innermost frame wins; zero cost when not raising.
+                    if not hasattr(exc, "trap_function"):
+                        exc.trap_function = function.name
+                        exc.trap_block_uids = (block.uid,)
+                        exc.trap_loc = instr.loc
+                        exc.trap_ir_function = function
+                    raise
 
             if next_block is None:
                 raise ExecutionError(

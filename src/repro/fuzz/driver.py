@@ -109,6 +109,7 @@ class FuzzReport:
     target: str
     divergences: list = field(default_factory=list)
     corpus_files: list = field(default_factory=list)
+    flight_bundles: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -132,6 +133,7 @@ class FuzzDriver:
         observer=None,
         reduce: bool = True,
         max_divergences: int = 5,
+        flight_recorder=None,
     ):
         if target != "all" and target not in TARGETS:
             raise ValueError(
@@ -145,6 +147,9 @@ class FuzzDriver:
         self.observer = observer
         self.reduce = reduce
         self.max_divergences = max_divergences
+        #: Optional :class:`repro.obs.FlightRecorder`; every confirmed
+        #: divergence dumps a postmortem bundle next to its reproducer.
+        self.flight_recorder = flight_recorder
 
     # -- per-iteration oracles --------------------------------------------
 
@@ -292,6 +297,25 @@ class FuzzDriver:
                 report.corpus_files.append(
                     write_reproducer(self.corpus_dir, divergence)
                 )
+            if self.flight_recorder is not None:
+                bundle = self.flight_recorder.record(
+                    reason="fuzz_divergence",
+                    context={
+                        "command": "fuzz",
+                        "target": target,
+                        "seed": self.seed,
+                        "iteration": i,
+                        "diffs": divergence.diffs[:8],
+                        "reproducer": (
+                            str(report.corpus_files[-1])
+                            if report.corpus_files
+                            else None
+                        ),
+                    },
+                )
+                report.flight_bundles.append(bundle)
+                if progress:
+                    progress(f"  flight bundle: {bundle}")
             if len(report.divergences) >= self.max_divergences:
                 if progress:
                     progress(

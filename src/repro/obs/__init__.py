@@ -25,12 +25,27 @@ Built on top of the observer:
   (``python -m repro annotate``);
 * :mod:`repro.obs.trace` — Chrome ``trace_event`` export (``--trace``);
 * :mod:`repro.obs.ledger` — persisted benchmark ledger and regression
-  gate (``python -m repro bench``).
+  gate (``python -m repro bench``);
+* :mod:`repro.obs.telemetry` — live streaming of span edges, counter
+  deltas, launches and scheduler decisions through pluggable sinks and
+  a bounded event ring (``obs.attach_telemetry``, ``--events``);
+* :mod:`repro.obs.flight` — flight recorder: postmortem bundles on
+  traps, fuzz divergences and uncaught exceptions, resolved down to the
+  trapping kernel's source line (``--flight-record DIR``);
+* :mod:`repro.obs.watch` — full-history benchmark trend analysis and
+  the CI regression verdict (``python -m repro watch``).
 
-See ``docs/PROFILING.md``.
+See ``docs/PROFILING.md`` and ``docs/TELEMETRY.md``.
 """
 
 from .core import CounterRegistry, Observer, Span
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    FlightSchemaError,
+    flight_guard,
+    validate_flight_bundle,
+)
 from .ledger import (
     LEDGER_SCHEMA_VERSION,
     LedgerSchemaError,
@@ -54,6 +69,17 @@ from .profile import (
     profile_workload,
 )
 from .schema import PROFILE_SCHEMA, ProfileSchemaError, validate_profile
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    AggregatorSink,
+    EventRing,
+    JsonLinesSink,
+    MetricsTextSink,
+    Telemetry,
+    TelemetrySchemaError,
+    validate_event,
+    validate_events,
+)
 from .trace import (
     TRACE_SCHEMA_VERSION,
     TraceSchemaError,
@@ -62,32 +88,59 @@ from .trace import (
     write_trace,
 )
 
+from .watch import (
+    WATCH_SCHEMA_VERSION,
+    WatchSchemaError,
+    build_watch_report,
+    render_watch_report,
+    validate_watch_report,
+)
+
 __all__ = [
+    "AggregatorSink",
     "CounterRegistry",
     "ConstructProfile",
+    "EventRing",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "FlightSchemaError",
+    "JsonLinesSink",
     "KernelProfile",
     "LEDGER_SCHEMA_VERSION",
     "LINES_SCHEMA_VERSION",
     "LedgerSchemaError",
+    "MetricsTextSink",
     "Observer",
     "PHASES",
     "PROFILE_SCHEMA",
     "PROFILE_SCHEMA_VERSION",
     "ProfileSchemaError",
     "Span",
+    "TELEMETRY_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
+    "Telemetry",
+    "TelemetrySchemaError",
     "TraceSchemaError",
+    "WATCH_SCHEMA_VERSION",
+    "WatchSchemaError",
     "annotate_workload",
     "build_line_report",
     "build_profile",
     "build_trace",
+    "build_watch_report",
     "diff_ledgers",
+    "flight_guard",
     "profile_to_csv",
     "profile_workload",
     "render_line_report",
+    "render_watch_report",
     "run_benchmarks",
+    "validate_event",
+    "validate_events",
+    "validate_flight_bundle",
     "validate_ledger",
     "validate_profile",
     "validate_trace",
+    "validate_watch_report",
     "write_trace",
 ]

@@ -40,14 +40,21 @@ class CounterRegistry:
     (``engine.instructions``, ``gpu.l3.hits``, ``private_pool.reuse``).
     """
 
-    __slots__ = ("_counters",)
+    __slots__ = ("_counters", "_sink")
 
     def __init__(self):
         self._counters: dict[str, float] = {}
+        # Optional streaming forward (repro.obs.telemetry): when a
+        # Telemetry pipeline is attached, every add() is mirrored as one
+        # "counter" event.  Detached, the cost is a single is-None check.
+        self._sink = None
 
     def add(self, name: str, amount=1) -> None:
         counters = self._counters
         counters[name] = counters.get(name, 0) + amount
+        sink = self._sink
+        if sink is not None:
+            sink(name, amount)
 
     def get(self, name: str, default=0):
         return self._counters.get(name, default)
@@ -128,20 +135,35 @@ class _SpanContext:
         self._start = 0.0
 
     def __enter__(self) -> Span:
-        self.observer._stack.append(self.span)
-        self._start = self.observer._clock()
+        observer = self.observer
+        observer._stack.append(self.span)
+        telemetry = observer.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "span_open", self.span.name, category=self.span.category
+            )
+        self._start = observer._clock()
         if not self.span.start_seconds:
-            self.span.start_seconds = self._start - self.observer._epoch
+            self.span.start_seconds = self._start - observer._epoch
         return self.span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        elapsed = self.observer._clock() - self._start
+        observer = self.observer
+        elapsed = observer._clock() - self._start
         self.span.wall_seconds += elapsed
-        stack = self.observer._stack
+        stack = observer._stack
         if stack and stack[-1] is self.span:
             stack.pop()
+        telemetry = observer.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "span_close",
+                self.span.name,
+                category=self.span.category,
+                wall_seconds=elapsed,
+            )
         # Self-accounting: how much wall time the observer itself brackets.
-        self.observer.counters.add("obs.span_ns", elapsed * 1e9)
+        observer.counters.add("obs.span_ns", elapsed * 1e9)
         return False
 
 
@@ -171,6 +193,33 @@ class Observer:
         #: samples for post-hoc source-line attribution — see
         #: :mod:`repro.obs.lines`.
         self.line_samples: list = []
+        #: optional streaming pipeline (:class:`repro.obs.telemetry.Telemetry`);
+        #: every emission site guards on ``is not None``, so an observer
+        #: without telemetry behaves exactly as before.
+        self.telemetry = None
+
+    # -- streaming telemetry ---------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach a :class:`~repro.obs.telemetry.Telemetry` pipeline:
+        spans, launches and counter deltas stream through it from now
+        on, and its ring becomes the flight recorder's postmortem
+        window.  Attach before running anything observed, or the
+        stream's counter totals will miss the counters that predate it."""
+        self.telemetry = telemetry
+        telemetry.ring._counters = self.counters
+        self.counters._sink = telemetry._on_counter
+
+    def detach_telemetry(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.ring._counters = None
+        self.counters._sink = None
+        self.telemetry = None
+
+    def open_span_names(self) -> list:
+        """Names of the currently open span stack, outermost first
+        (excluding the session root) — the flight recorder's context."""
+        return [span.name for span in self._stack[1:]]
 
     # -- spans -----------------------------------------------------------
 
@@ -225,6 +274,17 @@ class Observer:
             counters=dict(counters or {}),
         )
         self.constructs.append(record)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.emit(
+                "launch",
+                kernel,
+                construct=construct,
+                device=device,
+                n=n,
+                seconds=seconds,
+                energy_joules=energy_joules,
+            )
         profile = self.kernels.get(kernel)
         if profile is None:
             profile = self.kernels[kernel] = KernelProfile(

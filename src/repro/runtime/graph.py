@@ -47,11 +47,14 @@ and overlap.  See ``docs/GRAPH.md``.
 
 from __future__ import annotations
 
+import warnings
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
     "ConstructFuture",
+    "DeclaredSetViolation",
     "GraphError",
     "GraphStats",
     "RegionSpan",
@@ -69,6 +72,17 @@ EDGE_KINDS = ("raw", "war", "waw")
 class GraphError(RuntimeError):
     """Misuse of the task-graph API (bad spans, non-topological orders,
     unknown placement)."""
+
+
+class DeclaredSetViolation(GraphError):
+    """A kernel touched shared-region bytes outside its construct's
+    declared read/write spans (``declared_check="trap"``)."""
+
+
+#: At most this many violations are reported in detail per construct
+#: (events/warnings); the ``graph.declared_violations`` counter always
+#: carries the full count.
+MAX_VIOLATION_DETAILS = 16
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,42 @@ def _overlap_any(a: tuple, b: tuple) -> bool:
             if x.overlaps(y):
                 return True
     return False
+
+
+def _merge_intervals(spans) -> tuple:
+    """Sorted, coalesced ``(starts, ends)`` arrays for binary-search
+    containment tests over a declared span set."""
+    intervals = sorted(
+        (span.addr, span.addr + span.size) for span in spans if span.size > 0
+    )
+    starts: list[int] = []
+    ends: list[int] = []
+    for start, end in intervals:
+        if ends and start <= ends[-1]:
+            if end > ends[-1]:
+                ends[-1] = end
+        else:
+            starts.append(start)
+            ends.append(end)
+    return starts, ends
+
+
+def _contains(starts: list, ends: list, addr: int, size: int) -> bool:
+    index = bisect_right(starts, addr) - 1
+    return index >= 0 and addr + size <= ends[index]
+
+
+def _iter_access_events(trace):
+    """``(address, size, is_store)`` rows of one trace, whichever
+    representation it holds (columnar or object list)."""
+    events = trace.mem_events
+    data = getattr(events, "data", None)
+    if data is not None:  # MemEventColumns
+        for i in range(0, len(data), 5):
+            yield data[i + 2], data[i + 3], data[i + 4]
+    else:
+        for event in events:
+            yield event.address, event.size, event.is_store
 
 
 @dataclass
@@ -413,14 +463,46 @@ class TaskGraph:
         for dep in future.deps:
             ready = max(ready, self.futures[dep].finish_seconds)
         policy = self._placement_policy(future, ready)
-        report = rt.scheduler.run(
-            future._kinfo,
-            future.n,
-            future._body,
-            future.construct,
-            on_cpu=future._on_cpu,
-            policy=policy,
+        # Declared-set runtime validation: retain this construct's traces
+        # and check every recorded access against the declared spans.
+        # Reduce constructs are exempt when declared non-conservatively —
+        # their lanes write runtime-managed scratch copies the caller
+        # cannot declare; device-heap programs likewise allocate outside
+        # any declarable span.
+        checking = (
+            rt.declared_check != "off"
+            and rt.collect_mem_events
+            and (future.construct == "for" or future.conservative)
+            and not rt.program.config.device_alloc
         )
+        if checking:
+            kept_before = len(rt.trace_log)
+            keep_traces_before = rt.keep_traces
+            rt.keep_traces = True
+            try:
+                report = rt.scheduler.run(
+                    future._kinfo,
+                    future.n,
+                    future._body,
+                    future.construct,
+                    on_cpu=future._on_cpu,
+                    policy=policy,
+                )
+            finally:
+                rt.keep_traces = keep_traces_before
+            fresh_traces = rt.trace_log[kept_before:]
+            if not keep_traces_before:
+                del rt.trace_log[kept_before:]
+            self._check_declared(future, fresh_traces)
+        else:
+            report = rt.scheduler.run(
+                future._kinfo,
+                future.n,
+                future._body,
+                future.construct,
+                on_cpu=future._on_cpu,
+                policy=policy,
+            )
         future.report = report
         busy = report.per_device_seconds()
         start = ready
@@ -447,6 +529,62 @@ class TaskGraph:
         # Release construction-only references; the report stays.
         future._body = None
         future._kinfo = None
+
+    def _check_declared(self, future: ConstructFuture, traces) -> None:
+        """Validate every recorded shared-region access of one executed
+        construct against its declared spans: loads must fall inside
+        ``reads ∪ writes``, stores inside ``writes``.  Mem events carry
+        canonical CPU addresses on both devices and skip the private
+        window, so the check is engine- and placement-independent."""
+        rt = self.rt
+        read_starts, read_ends = _merge_intervals(future.reads + future.writes)
+        write_starts, write_ends = _merge_intervals(future.writes)
+        total = 0
+        details: list[dict] = []
+        for trace in traces:
+            for address, size, is_store in _iter_access_events(trace):
+                if is_store:
+                    ok = _contains(write_starts, write_ends, address, size)
+                else:
+                    ok = _contains(read_starts, read_ends, address, size)
+                if ok:
+                    continue
+                total += 1
+                if len(details) < MAX_VIOLATION_DETAILS:
+                    details.append(
+                        {
+                            "access": "store" if is_store else "load",
+                            "address": int(address),
+                            "size": int(size),
+                        }
+                    )
+        if not total:
+            return
+        obs = rt.obs
+        if obs is not None:
+            obs.counters.add("graph.declared_violations", total)
+            telemetry = obs.telemetry
+            if telemetry is not None:
+                for detail in details:
+                    telemetry.emit(
+                        "violation",
+                        future.kernel,
+                        construct_index=future.index,
+                        **detail,
+                    )
+        first = details[0]
+        message = (
+            f"construct #{future.index} ({future.kernel}) touched "
+            f"{total} byte range(s) outside its declared sets; first: "
+            f"{first['access']} of {first['size']} byte(s) at "
+            f"0x{first['address']:x}"
+        )
+        if rt.declared_check == "trap":
+            error = DeclaredSetViolation(message)
+            error.trap_kernel = future.kernel
+            error.trap_violations = details
+            raise error
+        warnings.warn(message, stacklevel=3)
 
     # -- synchronization ---------------------------------------------------
 

@@ -141,11 +141,17 @@ class ConcordRuntime:
         policy: str = DEFAULT_POLICY,
         graph: bool = False,
         graph_placement: str = "policy",
+        declared_check: str = "off",
     ):
         if engine not in ("compiled", "reference", "vector"):
             raise ValueError(
                 f"unknown engine {engine!r} "
                 "(expected 'compiled', 'reference' or 'vector')"
+            )
+        if declared_check not in ("off", "warn", "trap"):
+            raise ValueError(
+                f"unknown declared_check {declared_check!r} "
+                "(expected 'off', 'warn' or 'trap')"
             )
         self.program = program
         self.system = system or ultrabook()
@@ -203,6 +209,11 @@ class ConcordRuntime:
         # deferred execution with inter-construct overlap.
         self.graph_mode = graph
         self.graph_placement = graph_placement
+        # Declared-set runtime validation (repro.runtime.graph): "warn"
+        # streams violation events when a submitted construct touches
+        # bytes outside its declared read/write spans, "trap" raises
+        # DeclaredSetViolation.  Requires collect_mem_events.
+        self.declared_check = declared_check
         self._task_graph = None
         self._load_program()
 

@@ -152,6 +152,17 @@ class Scheduler:
         if counters is not None:
             counters.add("sched.constructs")
             counters.add(f"sched.policy.{name}")
+            telemetry = self.rt.obs.telemetry
+            if telemetry is not None:
+                telemetry.emit(
+                    "sched",
+                    self.key_of(kinfo),
+                    decision="policy",
+                    policy=name,
+                    construct=construct,
+                    n=n,
+                    fallback=fallback,
+                )
         chosen = self._policies[name]
         if construct == "reduce":
             report = chosen.run_reduce(self, kinfo, n, body)
@@ -337,6 +348,17 @@ class Scheduler:
                     if counters is not None:
                         counters.add(f"sched.chunks.{device}")
                         counters.add(f"sched.items.{device}", size)
+                        telemetry = rt.obs.telemetry
+                        if telemetry is not None:
+                            telemetry.emit(
+                                "sched",
+                                key,
+                                decision="chunk",
+                                device=device,
+                                chunk=index,
+                                lo=lo,
+                                items=size,
+                            )
                     share = self.gpu_share(key)
                     if (
                         last_share is not None

@@ -85,6 +85,7 @@ class Workload(abc.ABC):
         observer=None,
         policy: str = "gpu",
         graph: bool = False,
+        declared_check: str = "off",
     ) -> ConcordRuntime:
         program = cls.compile(config or OptConfig.gpu_all(), observer=observer)
         return ConcordRuntime(
@@ -97,6 +98,7 @@ class Workload(abc.ABC):
             observer=observer,
             policy=policy,
             graph=graph,
+            declared_check=declared_check,
         )
 
     @abc.abstractmethod
@@ -148,6 +150,7 @@ class Workload(abc.ABC):
         observer=None,
         policy: Optional[str] = None,
         graph: bool = False,
+        declared_check: str = "off",
     ) -> RunOutcome:
         """Convenience: compile, build, run, validate, aggregate.
 
@@ -167,6 +170,7 @@ class Workload(abc.ABC):
             observer=observer,
             policy=policy or "gpu",
             graph=graph,
+            declared_check=declared_check,
         )
         if policy is not None:
             on_cpu = False

@@ -1,0 +1,760 @@
+"""Tests for the streaming telemetry pipeline (repro.obs.telemetry), the
+flight recorder (repro.obs.flight), declared-set runtime validation
+(ConcordRuntime(declared_check=...)), and the ledger regression watch
+(repro.obs.watch): ring drop accounting, stream-vs-registry equivalence
+on the nine workloads under both engines, trap-site resolution down to
+the source line, and trend-gate behavior on synthetic histories."""
+
+import json
+import warnings
+
+import pytest
+
+from repro.ir.types import I32
+from repro.obs import (
+    AggregatorSink,
+    FlightRecorder,
+    JsonLinesSink,
+    MetricsTextSink,
+    Observer,
+    Telemetry,
+    TelemetrySchemaError,
+    build_watch_report,
+    flight_guard,
+    render_watch_report,
+    validate_event,
+    validate_events,
+    validate_flight_bundle,
+    validate_watch_report,
+)
+from repro.obs.telemetry import EventRing
+from repro.obs.watch import WatchSchemaError, analyze_series
+from repro.passes import OptConfig
+from repro.runtime import ConcordRuntime, compile_source, ultrabook
+from repro.runtime.graph import DeclaredSetViolation
+from repro.workloads import all_workloads
+
+WORKLOADS = all_workloads()
+
+INCR_SRC = """
+class Incr {
+public:
+  int* data;
+  void operator()(int i) { data[i] = data[i] + i; }
+};
+"""
+
+TRAP_SRC = """
+class Node {
+public:
+  int value;
+  Node *next;
+};
+
+class Deref {
+public:
+  Node *head;
+  void operator()(int i) {
+    head->value = i;
+  }
+};
+"""
+
+
+class ListSink:
+    """Test sink: keeps every event verbatim."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+
+def _compile(source):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return compile_source(source, OptConfig.gpu_all())
+
+
+def _incr_runtime(**kwargs):
+    rt = ConcordRuntime(_compile(INCR_SRC), ultrabook(), **kwargs)
+    arr = rt.new_array(I32, 16)
+    body = rt.new("Incr")
+    body.data = arr
+    return rt, arr, body
+
+
+# -- the ring ---------------------------------------------------------------
+
+
+class TestEventRing:
+    def test_bounded_with_drop_accounting(self):
+        """Satellite regression test: overflowing the ring evicts oldest
+        events and surfaces every eviction in ``obs.events_dropped``."""
+        observer = Observer()
+        telemetry = Telemetry(ring_capacity=4)
+        observer.attach_telemetry(telemetry)
+        for i in range(10):
+            telemetry.emit("sched", f"e{i}")
+        ring = telemetry.ring
+        assert len(ring) == 4
+        assert ring.dropped == 6
+        assert observer.counters.get("obs.events_dropped") == 6
+        assert [e["name"] for e in ring.snapshot()] == ["e6", "e7", "e8", "e9"]
+
+    def test_eviction_does_not_recurse_into_the_stream(self):
+        """The drop counter is written directly into the registry dict:
+        no counter *event* may be emitted for it, or an overflowing ring
+        would emit itself into further overflow forever."""
+        observer = Observer()
+        sink = ListSink()
+        telemetry = Telemetry(sinks=[sink], ring_capacity=2)
+        observer.attach_telemetry(telemetry)
+        for i in range(50):
+            telemetry.emit("sched", f"e{i}")
+        assert observer.counters.get("obs.events_dropped") == 48
+        assert all(e["name"] != "obs.events_dropped" for e in sink.events)
+        assert len(sink.events) == 50  # sinks are lossless
+
+    def test_counter_adds_land_in_ring_and_registry(self):
+        observer = Observer()
+        telemetry = Telemetry(ring_capacity=3)
+        observer.attach_telemetry(telemetry)
+        for _ in range(5):
+            observer.counters.add("x.hits", 2)
+        assert observer.counters.get("x.hits") == 10
+        events = telemetry.ring.snapshot()
+        assert len(events) == 3
+        assert all(e["kind"] == "counter" and e["delta"] == 2 for e in events)
+        assert observer.counters.get("obs.events_dropped") == 2
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            EventRing(0)
+
+    def test_detach_restores_silence(self):
+        observer = Observer()
+        telemetry = Telemetry()
+        observer.attach_telemetry(telemetry)
+        observer.counters.add("a")
+        observer.detach_telemetry()
+        observer.counters.add("a")
+        assert observer.counters.get("a") == 2
+        counter_events = [
+            e for e in telemetry.ring.snapshot() if e["kind"] == "counter"
+        ]
+        assert len(counter_events) == 1
+        assert observer.telemetry is None
+        assert observer.counters._sink is None
+
+
+# -- the pipeline and sinks -------------------------------------------------
+
+
+class TestTelemetryPipeline:
+    def test_event_shape_and_monotone_seq(self):
+        telemetry = Telemetry()
+        a = telemetry.emit("span_open", "compile", category="compiler")
+        b = telemetry.emit("span_close", "compile", category="compiler",
+                           wall_seconds=0.5)
+        assert a["seq"] == 0 and b["seq"] == 1
+        assert a["kind"] == "span_open" and a["name"] == "compile"
+        assert b["wall_seconds"] == 0.5
+        assert b["t"] >= a["t"] >= 0.0
+        validate_events([a, b])
+
+    def test_span_edges_stream_through_observer(self):
+        observer = Observer()
+        sink = ListSink()
+        observer.attach_telemetry(Telemetry(sinks=[sink]))
+        with observer.span("outer", "test"):
+            with observer.span("inner", "test"):
+                pass
+        kinds = [(e["kind"], e["name"]) for e in sink.events
+                 if e["kind"].startswith("span")]
+        assert kinds == [
+            ("span_open", "outer"),
+            ("span_open", "inner"),
+            ("span_close", "inner"),
+            ("span_close", "outer"),
+        ]
+        closes = [e for e in sink.events if e["kind"] == "span_close"]
+        assert all(e["wall_seconds"] >= 0.0 for e in closes)
+
+    def test_jsonlines_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonLinesSink(path)
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.emit("launch", "k", device="gpu", n=8, seconds=1e-3)
+        telemetry.emit("counter", "engine.instructions", delta=42)
+        telemetry.close()
+        lines = path.read_text().splitlines()
+        assert sink.events_written == 2 and len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        validate_events(events)
+        assert events[0]["device"] == "gpu"
+        assert events[1]["delta"] == 42
+
+    def test_metrics_text_sink_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        sink = MetricsTextSink(path)
+        telemetry = Telemetry(sinks=[sink])
+        telemetry.emit("counter", "gpu.l3.hits", delta=3)
+        telemetry.emit("counter", "gpu.l3.hits", delta=4)
+        telemetry.emit("launch", "k", device="gpu", n=8, seconds=1e-3)
+        telemetry.flush()
+        text = path.read_text()
+        assert "repro_gpu_l3_hits 7" in text
+        assert "repro_events_launch 1" in text
+        assert "# TYPE repro_gpu_l3_hits counter" in text
+        # a second flush replaces, never appends
+        telemetry.emit("counter", "gpu.l3.hits", delta=1)
+        telemetry.close()
+        assert "repro_gpu_l3_hits 8" in path.read_text()
+
+    def test_aggregator_rollups(self):
+        agg = AggregatorSink()
+        telemetry = Telemetry(sinks=[agg])
+        telemetry.emit("span_open", "launch")
+        telemetry.emit("span_close", "launch", wall_seconds=0.25)
+        telemetry.emit("launch", "k", device="gpu", n=8, seconds=2.0)
+        telemetry.emit("launch", "k", device="gpu", n=8, seconds=1.0)
+        telemetry.emit("counter", "c", delta=5)
+        doc = agg.as_dict()
+        assert doc["events_seen"] == 5
+        assert doc["spans"]["launch"] == {"count": 1, "wall_seconds": 0.25}
+        assert doc["launches"]["k@gpu"] == {
+            "count": 2, "items": 16, "sim_seconds": 3.0,
+        }
+        assert doc["counter_totals"] == {"c": 5}
+
+    def test_validate_event_rejects_malformed(self):
+        with pytest.raises(TelemetrySchemaError):
+            validate_event({"seq": 0, "t": 0.0, "kind": "nope", "name": "x"})
+        with pytest.raises(TelemetrySchemaError):
+            validate_event({"seq": 0, "t": 0.0, "kind": "counter", "name": "x"})
+        with pytest.raises(TelemetrySchemaError):
+            validate_event({"t": 0.0, "kind": "sched", "name": "x"})
+        with pytest.raises(TelemetrySchemaError):
+            validate_events([
+                {"seq": 1, "t": 0.0, "kind": "sched", "name": "a"},
+                {"seq": 1, "t": 0.0, "kind": "sched", "name": "b"},
+            ])
+        # gaps are fine: a ring snapshot is a suffix of the stream
+        validate_events([
+            {"seq": 3, "t": 0.0, "kind": "sched", "name": "a"},
+            {"seq": 9, "t": 0.1, "kind": "sched", "name": "b"},
+        ])
+
+
+# -- stream/registry equivalence on the real workloads ----------------------
+
+
+def _stream_matches_registry(name, engine, **execute_kwargs):
+    observer = Observer()
+    agg = AggregatorSink()
+    observer.attach_telemetry(Telemetry(sinks=[agg]))
+    workload = WORKLOADS[name]()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        workload.execute(
+            None, ultrabook(), scale=0.05, observer=observer,
+            engine=engine, **execute_kwargs,
+        )
+    counters = observer.counters.as_dict()
+    # ring-eviction bookkeeping is *about* the stream, never in it
+    counters.pop("obs.events_dropped", None)
+    assert agg.counter_totals == counters
+    assert agg.kinds.get("launch", 0) == len(observer.constructs)
+    return observer, agg
+
+
+class TestStreamMatchesRegistry:
+    """Satellite property test: replaying the counter events alone must
+    reconstruct the registry exactly — same names, same totals — for
+    every workload, on both engines, through the task graph."""
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_compiled_graph_and_declared_check(self, name):
+        # graph=True + declared_check="trap" doubles as the nine-workload
+        # declared-set cleanliness check: conservative futures validate
+        # against the whole region and must never fire.
+        _stream_matches_registry(
+            name, "compiled", graph=True, declared_check="trap"
+        )
+
+    @pytest.mark.parametrize("name", ["BFS", "ClothPhysics", "SkipList"])
+    def test_vector_engine(self, name):
+        _stream_matches_registry(name, "vector")
+
+    def test_hybrid_chunks_emit_sched_events(self):
+        observer = Observer()
+        sink = ListSink()
+        agg = AggregatorSink()
+        observer.attach_telemetry(Telemetry(sinks=[sink, agg]))
+        workload = WORKLOADS["BFS"]()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            workload.execute(
+                None, ultrabook(), scale=0.05, observer=observer,
+                policy="hybrid",
+            )
+        chunks = [e for e in sink.events
+                  if e["kind"] == "sched" and e.get("decision") == "chunk"]
+        assert chunks, "hybrid split dispatched no chunk events"
+        # at smoke scale the split may place every chunk on one device;
+        # the contract here is that each dispatch is visible and typed
+        assert {c["device"] for c in chunks} <= {"cpu", "gpu"}
+        assert all(c["items"] > 0 and c["lo"] >= 0 for c in chunks)
+        counters = observer.counters.as_dict()
+        counters.pop("obs.events_dropped", None)
+        assert agg.counter_totals == counters
+
+
+class TestTelemetryDoesNotPerturb:
+    """Zero-overhead-by-default extends to the stream: neither an
+    observer alone nor an attached pipeline may change any simulated
+    number (the PR 2 contract, re-asserted one layer up)."""
+
+    @pytest.mark.parametrize("name", ["BFS", "ClothPhysics"])
+    def test_same_simulated_seconds(self, name):
+        def attached():
+            observer = Observer()
+            observer.attach_telemetry(Telemetry(sinks=[AggregatorSink()]))
+            return observer
+
+        results = []
+        for make in (lambda: None, Observer, attached):
+            workload = WORKLOADS[name]()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                outcome = workload.execute(
+                    None, ultrabook(), scale=0.1, observer=make()
+                )
+            results.append((outcome.seconds, outcome.energy_joules))
+        assert results[0] == results[1] == results[2]
+
+    def test_detached_registry_has_no_sink(self):
+        rt, _, _ = _incr_runtime()
+        assert rt.obs is None  # no observer: nothing to stream from
+
+
+# -- flight recorder --------------------------------------------------------
+
+
+class TestFlightRecorder:
+    def _trap(self, rt, body):
+        from repro.exec import ExecutionError
+        from repro.svm import MemoryFault
+
+        with pytest.raises((MemoryFault, ExecutionError)) as info:
+            rt.parallel_for_hetero(4, body)
+        return info.value
+
+    def test_bundle_pinpoints_kernel_and_source_line(self, tmp_path):
+        observer = Observer()
+        observer.attach_telemetry(Telemetry())
+        rt = ConcordRuntime(_compile(TRAP_SRC), ultrabook(), observer=observer)
+        body = rt.new("Deref")  # head stays null: the store must fault
+        exc = self._trap(rt, body)
+        recorder = FlightRecorder(tmp_path, observer=observer)
+        path = recorder.record(exc, runtime=rt, context={"test": "trap"})
+        doc = json.loads(open(path).read())
+        validate_flight_bundle(doc)
+        assert doc["reason"] == "trap"
+        trap = doc["trap"]
+        assert trap["kernel"] == "kernel.Deref.gpu"
+        assert trap["device"] == "gpu"
+        assert trap["global_id"] == 0
+        assert trap["source_line"] == "head->value = i;"
+        assert trap["line"] is not None
+        assert doc["events"], "ring snapshot missing from bundle"
+        validate_events(doc["events"])
+        assert doc["events"][-1]["kind"] == "trap"
+        assert doc["counters"]
+        assert doc["context"] == {"test": "trap"}
+
+    def test_reference_engine_trap_annotates_too(self, tmp_path):
+        observer = Observer()
+        observer.attach_telemetry(Telemetry())
+        rt = ConcordRuntime(
+            _compile(TRAP_SRC), ultrabook(),
+            engine="reference", observer=observer,
+        )
+        exc = self._trap(rt, rt.new("Deref"))
+        path = FlightRecorder(tmp_path, observer=observer).record(exc)
+        doc = json.loads(open(path).read())
+        validate_flight_bundle(doc)
+        assert doc["trap"]["kernel"] == "kernel.Deref.gpu"
+        assert doc["trap"]["source_line"] == "head->value = i;"
+
+    def test_flight_guard_stamps_bundle_path(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        with pytest.raises(RuntimeError) as info:
+            with flight_guard(recorder, context={"step": 1}):
+                raise RuntimeError("boom")
+        doc = json.loads(open(info.value.flight_bundle).read())
+        validate_flight_bundle(doc)
+        assert doc["reason"] == "exception"
+        assert doc["exception"]["type"] == "RuntimeError"
+        assert doc["context"] == {"step": 1}
+        # a None recorder guards nothing and records nothing
+        with pytest.raises(RuntimeError):
+            with flight_guard(None):
+                raise RuntimeError("unrecorded")
+
+    def test_bundles_number_sequentially(self, tmp_path):
+        recorder = FlightRecorder(tmp_path)
+        first = recorder.record(reason="manual")
+        second = recorder.record(reason="manual")
+        assert first.endswith("flight-000.json")
+        assert second.endswith("flight-001.json")
+        # a fresh recorder over the same directory does not clobber
+        third = FlightRecorder(tmp_path).record(reason="manual")
+        assert third.endswith("flight-002.json")
+
+    def test_record_without_observer(self, tmp_path):
+        path = FlightRecorder(tmp_path).record(ValueError("plain"))
+        doc = json.loads(open(path).read())
+        validate_flight_bundle(doc)
+        assert doc["reason"] == "exception"
+        assert doc["events"] == [] and doc["counters"] == {}
+
+
+# -- declared-set runtime validation ----------------------------------------
+
+
+class TestDeclaredCheck:
+    def test_trap_on_access_outside_declaration(self):
+        observer = Observer()
+        agg = AggregatorSink()
+        observer.attach_telemetry(Telemetry(sinks=[agg]))
+        rt, arr, body = _incr_runtime(
+            observer=observer, declared_check="trap"
+        )
+        half = (arr.addr, 8 * I32.size())
+        future = rt.submit(16, body, reads=[half], writes=[half])
+        with pytest.raises(DeclaredSetViolation) as info:
+            future.result()
+        assert info.value.trap_kernel == "kernel.Incr.gpu"
+        assert info.value.trap_violations
+        assert observer.counters.get("graph.declared_violations") > 0
+        assert agg.kinds.get("violation", 0) > 0
+
+    def test_warn_mode_reports_and_continues(self):
+        rt, arr, body = _incr_runtime(declared_check="warn")
+        half = (arr.addr, 8 * I32.size())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = rt.submit(16, body, reads=[half], writes=[half]).result()
+        messages = [str(w.message) for w in caught]
+        assert any("outside its declared sets" in m for m in messages)
+        assert report is not None
+        assert arr[3] == 3  # the construct still ran to completion
+
+    def test_exact_declaration_is_clean(self):
+        rt, arr, body = _incr_runtime(declared_check="trap")
+        rt.submit(16, body, reads=[arr], writes=[arr]).result()
+        assert [arr[i] for i in range(16)] == list(range(16))
+
+    def test_conservative_submission_is_clean(self):
+        # omitted sets mean whole-region access: trivially satisfied
+        rt, arr, body = _incr_runtime(declared_check="trap")
+        rt.submit(16, body).result()
+        assert arr[7] == 7
+
+    def test_off_mode_never_validates(self):
+        rt, arr, body = _incr_runtime(declared_check="off")
+        half = (arr.addr, 8 * I32.size())
+        rt.submit(16, body, reads=[half], writes=[half]).result()
+        assert arr[15] == 15
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            _incr_runtime(declared_check="loud")
+
+    def test_fuzz_generated_program_with_narrowed_declaration(self):
+        """Satellite fuzz case: a generated source program submitted with
+        a deliberately wrong (too narrow) declared set must fire the
+        validator — the graph oracle's DAG plans rely on declarations
+        being honest, and this is the mechanism that makes lies
+        detectable."""
+        import random
+
+        from repro.fuzz import generate_source_program
+
+        program = generate_source_program(
+            random.Random(7), seed=7, force={"construct": "for"}
+        )
+        compiled = _compile(program.source)
+        rt = ConcordRuntime(compiled, ultrabook(), declared_check="trap")
+        data = rt.new_array(I32, program.n)
+        data.fill_from(program.data)
+        aux = rt.new_array(I32, program.aux_len)
+        aux.fill_from(program.aux)
+
+        def make_body():
+            body = rt.new(program.class_name)
+            body.data = data
+            body.aux = aux
+            body.s0 = program.s0
+            body.s1 = program.s1
+            extras = []
+            if program.uses_floats:
+                from repro.ir.types import F32
+
+                fdata = rt.new_array(F32, program.n)
+                fdata.fill_from(program.fdata)
+                body.fdata = fdata
+                extras.append(fdata)
+            if program.uses_virtual:
+                obj = rt.new(program.virtual_class)
+                obj.salt = program.salt
+                body.obj = obj
+                extras.append(obj)
+            return body, extras
+
+        # the honest declaration passes cleanly ...
+        honest, extras = make_body()
+        spans = [data, aux] + extras
+        rt.submit(
+            program.n, honest, reads=list(spans), writes=spans + [honest]
+        ).result()
+        # ... but shrinking every span to one byte puts any real array
+        # access outside the declaration
+        body, _ = make_body()
+        with pytest.raises(DeclaredSetViolation):
+            rt.submit(
+                program.n,
+                body,
+                reads=[(data.addr, 1), (aux.addr, 1)],
+                writes=[(data.addr, 1), (aux.addr, 1)],
+            ).result()
+
+
+# -- the regression watch ---------------------------------------------------
+
+
+def _write_history(directory, series):
+    """``series``: {(workload, config): [v0, v1, ...]} -> BENCH_<n>.json
+    files; all lists must share a length."""
+    length = len(next(iter(series.values())))
+    for n in range(length):
+        rows = [
+            {"workload": w, "config": c, "norm_instr_per_s": values[n]}
+            for (w, c), values in series.items()
+        ]
+        (directory / f"BENCH_{n}.json").write_text(
+            json.dumps({"results": rows})
+        )
+
+
+class TestWatch:
+    def test_slow_multi_pr_drift_is_caught(self, tmp_path):
+        # two consecutive ~9% losses pass any single-step 15% gate but
+        # cost 17% overall — the trend gate must fire
+        _write_history(tmp_path, {("W", "GPU"): [100.0, 100.0, 100.0, 91.0, 83.0]})
+        doc = build_watch_report(str(tmp_path), threshold=0.15)
+        validate_watch_report(doc)
+        series = doc["series"][0]
+        assert series["regressed"]
+        assert series["drift"] == pytest.approx(-0.17)
+        assert not doc["verdict"]["ok"]
+        assert doc["verdict"]["regressed"][0]["workload"] == "W"
+
+    def test_change_point_names_the_entry_to_bisect_from(self, tmp_path):
+        _write_history(
+            tmp_path, {("W", "GPU"): [100.0, 100.0, 100.0, 70.0, 70.0, 70.0]}
+        )
+        doc = build_watch_report(str(tmp_path), threshold=0.15)
+        series = doc["series"][0]
+        assert series["regressed"]
+        # the best window is BENCH_0..2; its end is the change point
+        assert series["best_entry"] == 2
+
+    def test_historical_noise_does_not_poison_the_baseline(self, tmp_path):
+        # one anomalously *fast* old entry must not set an unreachable
+        # best, and one slow old entry must not fire the gate
+        _write_history(
+            tmp_path,
+            {
+                ("Fast", "GPU"): [100.0, 300.0, 100.0, 100.0, 100.0],
+                ("Slow", "GPU"): [100.0, 30.0, 100.0, 100.0, 100.0],
+            },
+        )
+        doc = build_watch_report(str(tmp_path), threshold=0.15)
+        for series in doc["series"]:
+            assert not series["regressed"], series
+        assert doc["verdict"]["ok"]
+
+    def test_fresh_regression_is_judged_raw(self, tmp_path):
+        # the newest point is the entry under judgment: no median may
+        # soften it (this is what bench --check gates on)
+        _write_history(tmp_path, {("W", "GPU"): [100.0, 100.0, 100.0, 60.0]})
+        doc = build_watch_report(str(tmp_path), threshold=0.15)
+        assert doc["series"][0]["drift"] == pytest.approx(-0.40)
+        assert not doc["verdict"]["ok"]
+
+    def test_graph_rows_carry_no_trend_signal(self, tmp_path):
+        _write_history(
+            tmp_path,
+            {("W", "GPU"): [100.0, 100.0], ("W", "GRAPH"): [0.0, 0.0]},
+        )
+        doc = build_watch_report(str(tmp_path))
+        assert [s["config"] for s in doc["series"]] == ["GPU"]
+
+    def test_empty_directory_is_ok(self, tmp_path):
+        doc = build_watch_report(str(tmp_path))
+        validate_watch_report(doc)
+        assert doc["verdict"]["ok"] and doc["verdict"]["series"] == 0
+
+    def test_short_history_never_self_regresses(self):
+        assert not analyze_series([(0, 100.0)])["regressed"]
+        assert analyze_series([(0, 100.0)])["drift"] == 0.0
+
+    def test_render_names_verdict(self, tmp_path):
+        _write_history(tmp_path, {("W", "GPU"): [100.0, 50.0]})
+        doc = build_watch_report(str(tmp_path), threshold=0.15)
+        text = render_watch_report(doc)
+        assert "verdict: REGRESSED" in text
+        assert "<< regressed since BENCH_0" in text
+
+    def test_validator_rejects_malformed(self):
+        with pytest.raises(WatchSchemaError):
+            validate_watch_report({"schema": "nope"})
+
+    def test_committed_ledger_history_is_healthy(self):
+        """The repo's own BENCH_* history must pass its own gate — this
+        is exactly what CI's `repro watch --check` runs."""
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        doc = build_watch_report(str(root))
+        validate_watch_report(doc)
+        assert doc["verdict"]["entries"] >= 1
+        assert doc["verdict"]["ok"], render_watch_report(doc)
+
+
+# -- fuzz campaign integration ----------------------------------------------
+
+
+class TestFuzzFlight:
+    def test_divergence_writes_flight_bundle(self, tmp_path, monkeypatch):
+        from repro.fuzz.driver import FuzzDriver
+
+        observer = Observer()
+        observer.attach_telemetry(Telemetry())
+        recorder = FlightRecorder(tmp_path / "flight", observer=observer)
+        driver = FuzzDriver(
+            seed=1, iterations=1, target="engines",
+            corpus_dir=tmp_path / "corpus", observer=observer,
+            reduce=False, flight_recorder=recorder,
+        )
+
+        class FakeProgram:
+            def to_dict(self):
+                return {"fake": True}
+
+        monkeypatch.setattr(
+            driver, "run_iteration",
+            lambda i: (["outputs differ"], "source", FakeProgram(),
+                       "engines", None),
+        )
+        report = driver.run()
+        assert not report.ok
+        assert len(report.flight_bundles) == 1
+        doc = json.loads(open(report.flight_bundles[0]).read())
+        validate_flight_bundle(doc)
+        assert doc["reason"] == "fuzz_divergence"
+        assert doc["context"]["target"] == "engines"
+        assert doc["context"]["reproducer"] == str(report.corpus_files[0])
+
+    def test_clean_campaign_writes_no_bundles(self, tmp_path):
+        from repro.fuzz.driver import FuzzDriver
+
+        recorder = FlightRecorder(tmp_path)
+        driver = FuzzDriver(
+            seed=0, iterations=2, target="engines",
+            reduce=False, flight_recorder=recorder,
+        )
+        report = driver.run()
+        assert report.ok
+        assert report.flight_bundles == []
+        assert recorder.bundles == []
+
+
+# -- command line -----------------------------------------------------------
+
+
+class TestTelemetryCLI:
+    def test_run_flight_record_on_trap(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        source = tmp_path / "trapper.cpp"
+        source.write_text(TRAP_SRC)
+        flight = tmp_path / "flight"
+        code = main([
+            "run", str(source), "--body", "Deref", "--n", "4",
+            "--flight-record", str(flight),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "flight bundle:" in err
+        bundles = sorted(flight.glob("flight-*.json"))
+        assert len(bundles) == 1
+        doc = json.loads(bundles[0].read_text())
+        validate_flight_bundle(doc)
+        assert doc["trap"]["source_line"] == "head->value = i;"
+        assert doc["context"]["command"] == "run"
+
+    def test_run_declared_check_flag_rejects_bad_value(self, tmp_path):
+        from repro.__main__ import main
+
+        source = tmp_path / "incr.cpp"
+        source.write_text(INCR_SRC)
+        with pytest.raises(SystemExit):
+            main([
+                "run", str(source), "--body", "Incr",
+                "--declared-check", "loud",
+            ])
+
+    def test_profile_streams_events(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        events = tmp_path / "events.jsonl"
+        out = tmp_path / "profile.json"
+        code = main([
+            "profile", "bfs", "--scale", "0.05",
+            "--events", str(events), "--output", str(out),
+        ])
+        assert code == 0
+        streamed = [json.loads(line) for line in events.read_text().splitlines()]
+        assert streamed, "no events streamed"
+        validate_events(streamed)
+        kinds = {e["kind"] for e in streamed}
+        assert {"span_open", "span_close", "counter", "launch"} <= kinds
+
+    def test_watch_cli_text_and_check(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        _write_history(tmp_path, {("W", "GPU"): [100.0, 100.0, 100.0, 50.0]})
+        code = main(["watch", "--dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0  # without --check a regression still exits 0
+        assert "verdict: REGRESSED" in out
+        assert main(["watch", "--dir", str(tmp_path), "--check"]) == 1
+
+    def test_watch_cli_json_output(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        _write_history(tmp_path, {("W", "GPU"): [100.0, 101.0]})
+        report = tmp_path / "watch.json"
+        code = main([
+            "watch", "--dir", str(tmp_path), "--format", "json",
+            "--output", str(report), "--check",
+        ])
+        assert code == 0
+        doc = json.loads(report.read_text())
+        validate_watch_report(doc)
+        assert doc["verdict"]["ok"]
