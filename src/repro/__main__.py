@@ -20,11 +20,15 @@ Usage::
     python -m repro bench [--scale S] [--repeats N] [--dir DIR] [--check] [--graph]
                           [--workloads NAME ...] [--engine compiled|reference|vector]
     python -m repro fuzz [--seed N] [--iterations K]
-                         [--target all|frontend|ir|passes|engines|sched|vector|graph]
+                         [--target all|frontend|ir|passes|engines|sched|vector|graph|compile-cache]
                          [--corpus DIR] [--no-reduce] [--max-divergences M]
                          [--trace FILE.json] [--flight-record DIR]
     python -m repro watch [--dir DIR] [--check] [--threshold F]
                           [--format text|json] [--output FILE]
+    python -m repro serve [--store DIR] [--host H] [--port P]
+                          [--byte-budget BYTES] [--verbose]
+                          [--selftest] [--clients N] [--sources K]
+                          [--stats-output FILE]
 
 ``compile`` parses and compiles a MiniC++ translation unit and prints the
 requested artifact for every heterogeneous body class found.  ``run``
@@ -56,6 +60,7 @@ verdict; ``bench --check`` gates on the same full-history trend.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import kernel_mix
@@ -252,6 +257,7 @@ def main(argv=None) -> int:
             "sched",
             "vector",
             "graph",
+            "compile-cache",
         ],
         default="all",
     )
@@ -313,6 +319,49 @@ def main(argv=None) -> int:
         "--output", default=None, help="write to FILE instead of stdout"
     )
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the persistent compile service daemon"
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="artifact store directory (default: .repro-store under the cwd)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="port to bind (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--byte-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="LRU-evict store artifacts beyond this total size",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="start the daemon, run the synthetic many-client load test "
+        "against it, report warm-vs-cold latency, and exit non-zero if "
+        "the run proves nothing (no warm hits / failed requests)",
+    )
+    serve_parser.add_argument(
+        "--clients", type=int, default=4, help="selftest: concurrent clients"
+    )
+    serve_parser.add_argument(
+        "--sources", type=int, default=6, help="selftest: distinct programs"
+    )
+    serve_parser.add_argument(
+        "--stats-output",
+        default=None,
+        metavar="FILE",
+        help="selftest: also write the load report + daemon stats as JSON",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "profile":
         return _profile(args)
@@ -324,6 +373,8 @@ def main(argv=None) -> int:
         return _fuzz(args)
     if args.command == "watch":
         return _watch(args)
+    if args.command == "serve":
+        return _serve(args)
     try:
         with open(args.file) as handle:
             source = handle.read()
@@ -653,6 +704,63 @@ def _watch(args) -> int:
         )
         return 1
     return 0
+
+
+def _serve(args) -> int:
+    import json
+    import threading
+
+    from .service import (
+        ServiceClient,
+        render_report,
+        run_load,
+        serve,
+        validate_report,
+    )
+
+    store_dir = args.store or os.path.join(os.getcwd(), ".repro-store")
+    server, service = serve(
+        store_dir,
+        host=args.host,
+        port=args.port,
+        byte_budget=args.byte_budget,
+        quiet=not args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} (store: {store_dir})")
+
+    if not args.selftest:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+
+    # Selftest: drive the daemon we just started with the synthetic
+    # many-client load, then report and gate on what it proved.
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        report = run_load(
+            lambda: ServiceClient(host, port),
+            clients=args.clients,
+            sources=args.sources,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    print(render_report(report))
+    if args.stats_output:
+        with open(args.stats_output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"stats: {args.stats_output}")
+    problems = validate_report(report)
+    for problem in problems:
+        print(f"error: selftest: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def _fuzz(args) -> int:

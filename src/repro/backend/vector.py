@@ -37,20 +37,24 @@ from .gpu import GpuBackend
 # cross-lane hazard or an occupancy too low for columnar execution to
 # win — so later runtimes skip the doomed vector attempt entirely
 # (either path yields bit-identical traces; this is purely a heuristic).
-_SHARED_CACHES: dict = {}  # svm_const -> VectorCodeCache
-_SCALAR_KERNELS: dict = {}  # memo key -> reason string
-_GNARLY_KERNELS: dict = {}  # memo key -> gnarly reason
+#
+# All three are keyed by the program's content-hash ``program_id``
+# (``repro.runtime.compiler``): two different programs can never alias an
+# entry (the old shape-based key collided for same-named kernels with
+# equal block/instruction counts), while recompiles of the same
+# (source, options) pair — including warm loads from the artifact store —
+# share the memos, exactly as intended.
+_SHARED_CACHES: dict = {}  # (program_id, svm_const) -> VectorCodeCache
+_SCALAR_KERNELS: dict = {}  # (program_id, kernel name) -> reason string
+_GNARLY_KERNELS: dict = {}  # (program_id, kernel name) -> gnarly reason
 
 
-def _memo_key(kernel):
-    """Stable across recompiles of the same source/config (observed runs
-    always recompile), while distinguishing same-named kernels whose IR
-    differs (fuzz generators reuse class names)."""
-    return (
-        kernel.name,
-        len(kernel.blocks),
-        sum(len(b.instructions) for b in kernel.blocks),
-    )
+def _memo_key(program_id, kernel):
+    """Stable across recompiles *and* processes for the same
+    (source, options) pair — ``program_id`` is a content hash — while
+    distinguishing same-named kernels from different programs (fuzz
+    generators reuse class names)."""
+    return (program_id, kernel.name)
 
 
 def clear_memos() -> None:
@@ -94,7 +98,7 @@ class VectorBackend(GpuBackend):
     def _vector_cache(self):
         from ..exec.vector import VectorCodeCache
 
-        key = int(self.rt.region.svm_const)
+        key = (self.rt.program.program_id, int(self.rt.region.svm_const))
         cache = _SHARED_CACHES.get(key)
         if cache is None:
             cache = _SHARED_CACHES[key] = VectorCodeCache(self.rt.region)
@@ -104,7 +108,8 @@ class VectorBackend(GpuBackend):
         got = self._status.get(kernel.name)
         if got is not None:
             return got
-        reason = _GNARLY_KERNELS.get(_memo_key(kernel))
+        memo = _memo_key(self.rt.program.program_id, kernel)
+        reason = _GNARLY_KERNELS.get(memo)
         if reason is not None:
             got = ("gnarly", reason, None)
         else:
@@ -115,7 +120,7 @@ class VectorBackend(GpuBackend):
             ):
                 got = classify_kernel(self._vector_cache(), kernel)
             if got[0] == "gnarly":
-                _GNARLY_KERNELS[_memo_key(kernel)] = got[1]
+                _GNARLY_KERNELS[memo] = got[1]
         self._status[kernel.name] = got
         counters = self._counters()
         if counters is not None:
@@ -132,10 +137,8 @@ class VectorBackend(GpuBackend):
         if len(span) == 0:
             return super()._gpu_traces(kernel, span, args_of, budget)
         counters = self._counters()
-        if (
-            kernel.name in self._sticky
-            or _memo_key(kernel) in _SCALAR_KERNELS
-        ):
+        memo = _memo_key(rt.program.program_id, kernel)
+        if kernel.name in self._sticky or memo in _SCALAR_KERNELS:
             # A past launch hit a cross-lane hazard or ran at an
             # occupancy where columnar execution loses; skip even the
             # classification compile and go straight to the scalar path.
@@ -170,7 +173,7 @@ class VectorBackend(GpuBackend):
         except VectorFallback as fb:
             if fb.sticky:
                 self._sticky.add(kernel.name)
-                _SCALAR_KERNELS[_memo_key(kernel)] = str(fb)
+                _SCALAR_KERNELS[memo] = str(fb)
             if counters is not None:
                 counters.add("vector.fallbacks")
             return super()._gpu_traces(kernel, span, args_of, budget)
@@ -183,7 +186,7 @@ class VectorBackend(GpuBackend):
             # This launch already ran (and its results stand), but the
             # mask occupancy says columnar execution loses to the scalar
             # engine here — route future launches of this kernel scalar.
-            _SCALAR_KERNELS[_memo_key(kernel)] = "low mask occupancy"
+            _SCALAR_KERNELS[memo] = "low mask occupancy"
         if counters is not None:
             # The scalar engines bump engine.invocations once per
             # call_function; one vector launch is n of those.

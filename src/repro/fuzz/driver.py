@@ -31,7 +31,13 @@ Targets select what each iteration exercises:
   order, ``wait()``-forced, and a random topological forcing order must
   all agree bit-for-bit (the inferred RAW/WAR/WAW edges must serialize
   every true conflict);
-* ``all`` — round-robin over the seven targets.
+* ``compile-cache`` — a source program compiled monolithically, cold
+  through a fresh artifact store, warm through the same store, and cold
+  through a separate store dir: all four must agree on content-hash
+  program ids, stage hit/miss patterns, outputs, region bytes and
+  traces (warm-vs-cold bit-exact; independent compiles via the
+  canonical uid-remapped trace signature);
+* ``all`` — round-robin over the eight targets.
 
 Divergences are shrunk by :mod:`repro.fuzz.reduce` with the same oracle
 as predicate and written to the corpus directory (default
@@ -49,6 +55,7 @@ from typing import Optional
 from .irgen import IRProgram, generate_ir_program
 from .oracle import (
     ir_divergences,
+    source_cache_divergences,
     source_config_divergences,
     source_engine_divergences,
     source_graph_divergences,
@@ -59,7 +66,16 @@ from .oracle import (
 from .reduce import reduce_ir_program, reduce_source_program
 from .srcgen import SourceProgram, generate_source_program
 
-TARGETS = ("engines", "passes", "ir", "frontend", "sched", "vector", "graph")
+TARGETS = (
+    "engines",
+    "passes",
+    "ir",
+    "frontend",
+    "sched",
+    "vector",
+    "graph",
+    "compile-cache",
+)
 
 #: Forced feature-flag rotations for the ``frontend`` target.
 _FRONTEND_FORCES = (
@@ -213,6 +229,14 @@ class FuzzDriver:
                 target,
                 None,
             )
+        if target == "compile-cache":
+            return (
+                source_cache_divergences(program),
+                "source",
+                program,
+                target,
+                None,
+            )
         # passes: rotate one disabled pass per iteration; every full
         # rotation also cross-checks the paper's four configurations.
         from ..passes.pipeline import DISABLEABLE_PASSES
@@ -245,6 +269,8 @@ class FuzzDriver:
             return lambda p: bool(source_vector_divergences(p))
         if target == "graph":
             return lambda p: bool(source_graph_divergences(p))
+        if target == "compile-cache":
+            return lambda p: bool(source_cache_divergences(p))
         if target == "passes":
             if detail == "configs":
                 return lambda p: bool(source_config_divergences(p))

@@ -56,6 +56,10 @@ class Outcome:
     region_digest: str = ""
     heap_digest: str = ""
     trace_sig: Optional[tuple] = None
+    #: uid-remapped signature (see :func:`canonical_trace_signature`),
+    #: filled only when ``canonical_traces`` was requested — comparable
+    #: across *independent* compiles of the same source.
+    canon_trace_sig: Optional[tuple] = None
 
     def brief(self) -> str:
         if not self.ok:
@@ -105,6 +109,62 @@ def _trace_signature(traces) -> tuple:
     return tuple(sig)
 
 
+def _canonical_uid_maps(module):
+    """Deterministic remaps of the global block/instruction uid counters.
+
+    Blocks and instructions draw their uids from process-wide counters,
+    so two *independent* compiles of the same source assign different
+    uids to structurally identical IR — and traces key block counts,
+    branch stats and mem events by those uids.  Traversing the module in
+    function-name order (names are source-derived, hence identical
+    across compiles) gives every block and instruction a canonical
+    position independent of the counters' state."""
+    blocks: dict = {}
+    instrs: dict = {}
+    for name in sorted(module.functions):
+        fn = module.functions[name]
+        for b_index, block in enumerate(fn.blocks):
+            blocks[block.uid] = (name, b_index)
+            for i_index, instr in enumerate(block.instructions):
+                instrs[instr.uid] = (name, b_index, i_index)
+    return blocks, instrs
+
+
+def canonical_trace_signature(traces, module) -> tuple:
+    """:func:`_trace_signature` with raw uids remapped to canonical
+    module positions — comparable across independent compiles of one
+    source (the raw signature is only comparable between executions of
+    the *same* IR objects)."""
+    blocks, instrs = _canonical_uid_maps(module)
+
+    def _block(uid):
+        return blocks.get(uid, ("?", uid))
+
+    def _instr(uid):
+        return instrs.get(uid, ("?", uid, -1))
+
+    sig = []
+    for trace in traces:
+        events = tuple(
+            (_instr(e.instr_uid), e.seq, e.address, e.size, e.is_store)
+            for e in trace.mem_events
+        )
+        sig.append((
+            trace.instructions,
+            tuple(sorted((_block(k), v) for k, v in trace.block_counts.items())),
+            tuple(sorted(
+                (_instr(k), tuple(v)) for k, v in trace.branch_stats.items()
+            )),
+            trace.flops,
+            trace.int_ops,
+            trace.translations,
+            trace.calls,
+            trace.mem_events_dropped,
+            events,
+        ))
+    return tuple(sig)
+
+
 # -- source-program execution -------------------------------------------------
 
 
@@ -117,12 +177,14 @@ def run_source_program(
     compiled=None,
     observer=None,
     policy: Optional[str] = None,
+    canonical_traces: bool = False,
 ) -> Outcome:
     """Compile (unless ``compiled`` is passed) and execute one generated
     program, returning the full observable outcome.  ``observer`` (a
     ``repro.obs.Observer``) opts the run into span/counter collection;
     ``policy`` routes the constructs through a scheduler placement policy
-    instead of the ``device`` flag."""
+    instead of the ``device`` flag; ``canonical_traces`` additionally
+    fills ``canon_trace_sig`` (requires ``keep_traces``)."""
     from ..ir.types import F32, I32
     from ..runtime import ConcordRuntime, compile_source, ultrabook
 
@@ -185,6 +247,11 @@ def run_source_program(
             region_digest=_digest(rt.region.physical.data),
             heap_digest=_heap_digest(rt.region, compiled.module),
             trace_sig=_trace_signature(rt.trace_log) if keep_traces else None,
+            canon_trace_sig=(
+                canonical_trace_signature(rt.trace_log, compiled.module)
+                if keep_traces and canonical_traces
+                else None
+            ),
         )
 
 
@@ -558,6 +625,133 @@ def source_graph_divergences(program: SourceProgram) -> list:
         diffs.extend(compare_outcomes(
             sync, shuffled, "graph/sync", "graph/shuffled", region="full"
         ))
+    return diffs
+
+
+def source_cache_divergences(program: SourceProgram) -> list:
+    """Staged compile-through-store differential (the compile service's
+    identity bar; see ``docs/SERVICE.md``).
+
+    Four compilations of one source under ``OptConfig.gpu_all()``:
+
+    * ``mono``  — :func:`repro.runtime.compile_source`, no store (the
+      in-memory three-stage chain, the baseline);
+    * ``cold``  — :func:`~repro.runtime.compiler.compile_cached` against
+      a fresh store (every stage must miss and write its artifact);
+    * ``warm``  — the *same* store again (every stage must hit): the
+      unpickled artifacts preserve the cold compile's instruction uids
+      and OpenCL text, so warm is held to bit-identical OpenCL, region
+      bytes and *raw* traces;
+    * ``other`` — a separate fresh store dir: an independent compile
+      whose global uids legitimately differ, compared through
+      :func:`canonical_trace_signature` instead.
+
+    All four must carry the same content-hash ``program_id``, show the
+    expected per-stage hit/miss pattern, and execute identically on the
+    GPU path: outputs, every region byte, and traces.
+    """
+    import tempfile
+
+    from ..backend.vector import reset_process_caches
+    from ..runtime import compile_source
+    from ..runtime.compiler import compile_cached
+    from ..service import ArtifactStore
+
+    config = OptConfig.gpu_all()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            mono = compile_source(program.source, config)
+        except Exception:
+            # Frontend rejection is store-independent: nothing to compare.
+            return []
+        with tempfile.TemporaryDirectory() as shared_dir, \
+                tempfile.TemporaryDirectory() as separate_dir:
+            shared = ArtifactStore(shared_dir)
+            cold, cold_stages = compile_cached(
+                program.source, config, store=shared
+            )
+            warm, warm_stages = compile_cached(
+                program.source, config, store=shared
+            )
+            other, other_stages = compile_cached(
+                program.source, config, store=ArtifactStore(separate_dir)
+            )
+    diffs = []
+    for label, stages, expected in (
+        ("cold", cold_stages, "miss"),
+        ("warm", warm_stages, "hit"),
+        ("separate-store", other_stages, "miss"),
+    ):
+        if set(stages.values()) != {expected}:
+            diffs.append(
+                f"{label} compile stages not all {expected}: {stages}"
+            )
+    ids = {
+        "mono": mono.program_id,
+        "cold": cold.program_id,
+        "warm": warm.program_id,
+        "other": other.program_id,
+    }
+    if len(set(ids.values())) != 1:
+        diffs.append(
+            "program hashes disagree: "
+            + ", ".join(f"{k}={v[:16]}" for k, v in sorted(ids.items()))
+        )
+    # Warm artifacts are pickled snapshots of the cold compile, so the
+    # embedded device code must round-trip byte for byte.
+    for name, kinfo in cold.kernels.items():
+        warm_kinfo = warm.kernels.get(name)
+        if warm_kinfo is None:
+            diffs.append(f"warm compile lost kernel {name!r}")
+        elif (
+            kinfo.opencl_source != warm_kinfo.opencl_source
+            or kinfo.reduce_wrapper_source != warm_kinfo.reduce_wrapper_source
+        ):
+            diffs.append(f"warm OpenCL for {name!r} differs from cold")
+    if diffs:
+        # The compile-level identity is already broken; executing the
+        # programs would only restate it less precisely.
+        return diffs
+    outcomes = {}
+    for label, compiled in (
+        ("mono", mono), ("cold", cold), ("warm", warm), ("other", other)
+    ):
+        # All four share one content-hash program_id, so the process-wide
+        # JIT/vector memos would happily serve one compile's kernels to
+        # another's run; reset between runs so each program honestly
+        # exercises its own artifacts.
+        reset_process_caches()
+        outcomes[label] = run_source_program(
+            program, engine="compiled", device="gpu", keep_traces=True,
+            compiled=compiled, canonical_traces=True,
+        )
+    # cold vs warm ran the very same pickled IR snapshot: full bar
+    # including raw (uid-exact) traces.
+    diffs.extend(compare_outcomes(
+        outcomes["cold"], outcomes["warm"], "store/cold", "store/warm",
+        region="full", traces=True,
+    ))
+    # mono and other are independent compiles of the same source: region
+    # bytes must still match in full (symbol ids and layout are
+    # name-derived), but traces are compared canonically below.
+    diffs.extend(compare_outcomes(
+        outcomes["mono"], outcomes["cold"], "compile/mono", "store/cold",
+        region="full",
+    ))
+    diffs.extend(compare_outcomes(
+        outcomes["cold"], outcomes["other"], "store/shared", "store/separate",
+        region="full",
+    ))
+    base = outcomes["cold"]
+    for label in ("mono", "other"):
+        outcome = outcomes[label]
+        if not (base.ok and outcome.ok):
+            continue
+        if base.canon_trace_sig != outcome.canon_trace_sig:
+            diffs.append(
+                f"canonical execution traces differ (store/cold vs {label})"
+            )
     return diffs
 
 

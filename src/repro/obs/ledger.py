@@ -66,6 +66,67 @@ def calibrate(iterations: int = 200_000, repeats: int = 5) -> float:
     return (3 * iterations) / best if best > 0 else 0.0
 
 
+# -- compile-path measurement ------------------------------------------------
+
+
+def measure_compile(names, registry, calibration: float, repeats: int = 2) -> list:
+    """Warm-vs-cold compile seconds per workload — the ledger's
+    ``COMPILE`` section.
+
+    Cold is a full staged compile (frontend + pipeline + closure); warm
+    is the same request answered entirely from a freshly populated
+    artifact store (``repro.service``).  Both are best-of-``repeats``
+    wall clock, normalized like the throughput cells: ``1 / (seconds ×
+    calibration)`` is machine-independent with higher = better, so the
+    watch gate can trend compile-path regressions with the same
+    machinery it uses for simulation throughput.
+    """
+    import tempfile
+
+    from ..passes import OptConfig
+    from ..runtime.compiler import compile_cached, compile_source
+
+    rows = []
+    config = OptConfig.gpu_all()
+    for name in names:
+        cls = registry[name]
+        cold = warm = float("inf")
+        with tempfile.TemporaryDirectory(prefix="repro-compile-bench-") as tmp:
+            from ..service import ArtifactStore
+
+            store = ArtifactStore(tmp)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    compile_source(cls.source, config, module_name=cls.name)
+                    cold = min(cold, time.perf_counter() - start)
+                compile_cached(
+                    cls.source, config, module_name=cls.name, store=store
+                )  # populate
+                for _ in range(max(1, repeats)):
+                    start = time.perf_counter()
+                    _program, stages = compile_cached(
+                        cls.source, config, module_name=cls.name, store=store
+                    )
+                    warm = min(warm, time.perf_counter() - start)
+        denom_cold = cold * calibration
+        denom_warm = warm * calibration
+        rows.append(
+            {
+                "workload": name,
+                "cold_s": cold,
+                "warm_s": warm,
+                "speedup": cold / warm if warm > 0 else 0.0,
+                "warm_stages": stages,
+                "calibration_ops_per_s": calibration,
+                "norm_cold": 1.0 / denom_cold if denom_cold > 0 else 0.0,
+                "norm_warm": 1.0 / denom_warm if denom_warm > 0 else 0.0,
+            }
+        )
+    return rows
+
+
 # -- measurement -----------------------------------------------------------
 
 
@@ -207,6 +268,17 @@ def run_benchmarks(
                     f"overlap {point['speedup']:.2f}x  "
                     f"sim {point['graph_seconds']:.6f}s"
                 )
+    compile_rows = measure_compile(
+        names, registry, run_calibration, repeats=max(1, repeats)
+    )
+    if progress is not None:
+        for row in compile_rows:
+            progress(
+                f"{row['workload']:>20} {'COMPILE':<10} "
+                f"cold {row['cold_s'] * 1e3:8.2f}ms  "
+                f"warm {row['warm_s'] * 1e3:8.2f}ms  "
+                f"({row['speedup']:.1f}x)"
+            )
     return {
         "schema": LEDGER_SCHEMA_VERSION,
         "meta": {
@@ -218,6 +290,7 @@ def run_benchmarks(
             "graph": graph,
         },
         "results": results,
+        "compile": compile_rows,
     }
 
 
@@ -349,6 +422,15 @@ _ROW_NUMBERS = (
     "norm_instr_per_s",
 )
 
+_COMPILE_NUMBERS = (
+    "cold_s",
+    "warm_s",
+    "speedup",
+    "calibration_ops_per_s",
+    "norm_cold",
+    "norm_warm",
+)
+
 
 def _fail(errors, path, message) -> None:
     errors.append(f"{path}: {message}")
@@ -389,6 +471,24 @@ def validate_ledger(doc) -> None:
             value = row.get(key)
             if not isinstance(value, _NUMBER) or isinstance(value, bool) or value < 0:
                 _fail(errors, f"{path}.{key}", "missing or negative")
+    # The COMPILE section is optional (entries before it existed lack it)
+    # but must be well-formed when present.
+    compile_rows = doc.get("compile")
+    if compile_rows is not None:
+        if not isinstance(compile_rows, list):
+            _fail(errors, "compile", "expected an array")
+            compile_rows = []
+        for index, row in enumerate(compile_rows):
+            path = f"compile[{index}]"
+            if not isinstance(row, dict):
+                _fail(errors, path, "expected an object")
+                continue
+            if not isinstance(row.get("workload"), str) or not row.get("workload"):
+                _fail(errors, f"{path}.workload", "missing or not a non-empty string")
+            for key in _COMPILE_NUMBERS:
+                value = row.get(key)
+                if not isinstance(value, _NUMBER) or isinstance(value, bool) or value < 0:
+                    _fail(errors, f"{path}.{key}", "missing or negative")
     if errors:
         raise LedgerSchemaError(
             "ledger entry does not match schema:\n  " + "\n  ".join(errors)

@@ -281,11 +281,25 @@ class AggregatorSink:
     stream alone (minus ``obs.events_dropped``, which is bookkeeping
     *about* the stream and deliberately never enters it) — the
     equivalence the telemetry property test asserts.
+
+    ``span_samples`` (default 0 = off, preserving the historical
+    rollup-only footprint) bounds a per-span-name reservoir of recent
+    ``wall_seconds`` samples so :meth:`percentiles` can report latency
+    quantiles — the compile service uses this for its per-request
+    p50/p99 numbers.
     """
 
-    __slots__ = ("events_seen", "kinds", "counter_totals", "spans", "launches")
+    __slots__ = (
+        "events_seen",
+        "kinds",
+        "counter_totals",
+        "spans",
+        "launches",
+        "span_samples",
+        "_samples",
+    )
 
-    def __init__(self):
+    def __init__(self, span_samples: int = 0):
         self.events_seen = 0
         self.kinds: dict[str, int] = {}
         self.counter_totals: dict[str, float] = {}
@@ -293,6 +307,22 @@ class AggregatorSink:
         self.spans: dict[str, list] = {}
         #: launch rollup: (kernel, device) -> [count, items, sim seconds]
         self.launches: dict[tuple, list] = {}
+        self.span_samples = int(span_samples)
+        #: span name -> deque of recent wall_seconds (only when sampling)
+        self._samples: dict[str, deque] = {}
+
+    def percentiles(self, name: str, quantiles=(50, 99)) -> dict:
+        """Latency quantiles (nearest-rank over the retained samples) for
+        span ``name``, as ``{"p50": seconds, ...}`` — empty when sampling
+        is off or the span never closed."""
+        samples = sorted(self._samples.get(name, ()))
+        if not samples:
+            return {}
+        out = {}
+        for q in quantiles:
+            rank = max(0, min(len(samples) - 1, int(len(samples) * q / 100)))
+            out[f"p{q}"] = samples[rank]
+        return out
 
     def emit(self, event: dict) -> None:
         self.events_seen += 1
@@ -307,6 +337,13 @@ class AggregatorSink:
             entry = self.spans.setdefault(event["name"], [0, 0.0])
             entry[0] += 1
             entry[1] += event.get("wall_seconds", 0.0)
+            if self.span_samples > 0:
+                bucket = self._samples.get(event["name"])
+                if bucket is None:
+                    bucket = self._samples[event["name"]] = deque(
+                        maxlen=self.span_samples
+                    )
+                bucket.append(event.get("wall_seconds", 0.0))
         elif kind == "launch":
             key = (event["name"], event.get("device", ""))
             entry = self.launches.setdefault(key, [0, 0, 0.0])

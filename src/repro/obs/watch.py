@@ -80,7 +80,14 @@ def build_series(history: list) -> dict:
     """``(workload, config) -> [(entry, norm_instr_per_s), ...]`` over
     the history.  Rows without positive normalized throughput (e.g. the
     ``GRAPH`` overlap rows, which deliberately zero their wall-clock
-    columns) carry no trend signal and are skipped."""
+    columns) carry no trend signal and are skipped.
+
+    Entries with a ``compile`` section additionally contribute
+    ``(workload, "COMPILE:cold")`` and ``(workload, "COMPILE:warm")``
+    series from the normalized inverse compile times (higher = better,
+    calibrated like the throughput cells), so compile-path regressions
+    trend through the same gate; older entries simply lack the section
+    and contribute no points."""
     series: dict[tuple, list] = {}
     for doc in history:
         entry = doc.get("entry", 0)
@@ -92,6 +99,25 @@ def build_series(history: list) -> dict:
             if not all(isinstance(part, str) and part for part in key):
                 continue
             series.setdefault(key, []).append((entry, float(norm)))
+        compile_rows = doc.get("compile")
+        if not isinstance(compile_rows, list):
+            continue
+        for row in compile_rows:
+            if not isinstance(row, dict):
+                continue
+            workload = row.get("workload")
+            if not isinstance(workload, str) or not workload:
+                continue
+            for config, field in (
+                ("COMPILE:cold", "norm_cold"),
+                ("COMPILE:warm", "norm_warm"),
+            ):
+                norm = row.get(field, 0.0)
+                if not isinstance(norm, (int, float)) or norm <= 0:
+                    continue
+                series.setdefault((workload, config), []).append(
+                    (entry, float(norm))
+                )
     return series
 
 

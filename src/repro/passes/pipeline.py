@@ -127,6 +127,18 @@ class OptConfig:
             disabled=self.disabled | {name},
         )
 
+    def cache_key(self) -> str:
+        """Canonical string form of this configuration for content-hashed
+        compilation artifacts (``repro.runtime.compiler``): every field in
+        a fixed order, with the disabled set sorted, so equal configs —
+        however constructed — always produce the same stage hashes."""
+        return (
+            f"ptropt={int(self.ptropt)};l3opt={int(self.l3opt)};"
+            f"classical={int(self.classical)};unroll={int(self.unroll)};"
+            f"verify={int(self.verify)};device_alloc={int(self.device_alloc)};"
+            f"disabled={','.join(sorted(self.disabled))}"
+        )
+
     @property
     def label(self) -> str:
         if self.ptropt and self.l3opt:

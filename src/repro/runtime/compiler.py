@@ -1,26 +1,44 @@
 """The static Concord compiler driver (paper Figure 2, left column).
 
-``compile_source`` runs the full pipeline:
+Compilation is **staged** (see ``docs/SERVICE.md``): three explicit,
+separately cacheable stages replace the old opaque monolith, each
+producing an artifact stamped with a stable **content hash** of its
+canonicalized inputs:
 
-1. parse MiniC++ and run semantic analysis;
-2. lower to IR (CLANG/LLVM stand-in);
-3. discover heterogeneous loop-body classes — any class with
-   ``operator()(int)`` is offloadable; a ``join(Body&)`` method makes it a
-   reduction body;
-4. generate a kernel wrapper per body class (the ``__kernel`` entry that
-   fetches ``get_global_id(0)`` and invokes the body), plus a join wrapper
-   for reductions;
-5. run the standard optimization pipeline on everything, then the
-   device-lowering pipeline (devirt, SVM, PTROPT/L3OPT per config) on each
-   kernel;
-6. run the restriction checker; flagged kernels are marked CPU-only with a
-   compile-time warning, exactly as the paper describes;
-7. emit OpenCL C text for each kernel and embed it in the returned
-   :class:`CompiledProgram` (the "executable: IA binary + OpenCL").
+1. :func:`frontend_stage` — parse MiniC++, semantic analysis, lowering
+   to IR (CLANG/LLVM stand-in), and discovery of heterogeneous loop-body
+   classes (any class with ``operator()(int)`` is offloadable; a
+   ``join(Body&)`` method makes it a reduction body) plus their kernel
+   wrappers.  Hash of (canonical source, module name, version salt).
+2. :func:`pipeline_stage` — the standard optimization pipeline over
+   every function, then the device-lowering pipeline (devirt, SVM,
+   PTROPT/L3OPT per config) on each kernel clone, plus the restriction
+   checker (flagged kernels are marked CPU-only with a compile-time
+   warning, exactly as the paper describes).  Hash of (frontend hash,
+   canonical pass config, pass-registry composition).
+3. :func:`closure_stage` — emit the executable closure: OpenCL C text
+   per kernel (plus the section 3.3 reduce wrapper) embedded in the
+   returned :class:`CompiledProgram` (the "executable: IA binary +
+   OpenCL").  The program's ``program_id`` *is* this stage's hash.
+
+:func:`compile_source` chains the three stages in memory and is
+bit-identical to the pre-staged monolith.  :func:`compile_cached`
+additionally consults an artifact store (``repro.service.ArtifactStore``
+or anything with ``get``/``put``) at every stage, so a warm store skips
+the frontend, the pipeline and the closure emission entirely —
+the substrate of the persistent compile service (``python -m repro
+serve``).
+
+Because ``program_id`` is a content hash, it is stable across processes
+and across recompiles of the same (source, options) pair, and two
+different programs can never alias a ``(program_id, kernel_name)`` JIT
+or vector-code cache entry — the old per-process ``itertools.count`` id
+gave neither guarantee.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import warnings
 from contextlib import nullcontext
@@ -34,10 +52,79 @@ from ..ir.types import I32, PointerType, VOID, ptr
 from ..minicpp import Sema, UnitLowerer, check_kernel, parse
 from ..minicpp.sema import ClassInfo
 from ..passes import OptConfig, PassManager, kernel_pipeline, standard_pipeline
+from ..passes.pipeline import PASS_REGISTRY
 
 
 class ConcordWarning(UserWarning):
     """Compile-time warning for restriction violations (paper section 2.1)."""
+
+
+_ANON_IDS = itertools.count()
+
+
+# -- content hashing ---------------------------------------------------------
+
+#: Bumping this invalidates every stored artifact: the stage hashes fold
+#: it in, so stores written by an incompatible compiler are simply never
+#: hit (and eventually evicted), rather than deserialized wrongly.
+COMPILE_SALT_VERSION = "repro-compile/v1"
+
+
+def _compile_salt() -> str:
+    from .. import __version__
+
+    return f"{COMPILE_SALT_VERSION}:{__version__}"
+
+
+def canonical_source(source: str) -> str:
+    """The form of the source text that stage hashes see: line endings
+    normalized so the same program written on different platforms hits
+    the same artifacts."""
+    return source.replace("\r\n", "\n").replace("\r", "\n")
+
+
+def _hash(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        raw = part.encode("utf-8")
+        # Length-prefix every field so ("ab","c") never collides with
+        # ("a","bc").
+        digest.update(str(len(raw)).encode("ascii"))
+        digest.update(b":")
+        digest.update(raw)
+    return digest.hexdigest()
+
+
+def frontend_key(source: str, module_name: str = "concord") -> str:
+    """Content hash of the frontend stage's inputs."""
+    return _hash("frontend", _compile_salt(), module_name, canonical_source(source))
+
+
+def pipeline_key(frontend_hash: str, config: OptConfig) -> str:
+    """Content hash of the pipeline stage: the frontend artifact it
+    consumes, the canonical pass configuration, and the pass-registry
+    composition (a renamed/added pass must miss old artifacts)."""
+    return _hash(
+        "pipeline",
+        _compile_salt(),
+        frontend_hash,
+        config.cache_key(),
+        ",".join(sorted(PASS_REGISTRY)),
+    )
+
+
+def program_key(pipeline_hash: str) -> str:
+    """Content hash of the closure stage — the ``program_id`` of the
+    resulting :class:`CompiledProgram`.  Folds in the reduction group
+    size because the emitted reduce-wrapper OpenCL depends on it."""
+    from .runtime import REDUCTION_GROUP_SIZE
+
+    return _hash(
+        "closure", _compile_salt(), pipeline_hash, str(REDUCTION_GROUP_SIZE)
+    )
+
+
+# -- artifacts ---------------------------------------------------------------
 
 
 @dataclass
@@ -58,6 +145,35 @@ class KernelInfo:
 
 
 @dataclass
+class FrontendArtifact:
+    """Stage 1 output: lowered module + semantic info + kernel wrappers,
+    before any optimization.  ``key`` is :func:`frontend_key`."""
+
+    key: str
+    source: str
+    module_name: str
+    module: Module
+    sema: Sema
+    kernels: dict
+
+
+@dataclass
+class PipelineArtifact:
+    """Stage 2 output: the fully optimized and device-lowered module.
+    ``key`` is :func:`pipeline_key`; ``warnings`` carries the restriction
+    messages so a store hit replays them faithfully."""
+
+    key: str
+    frontend_key: str
+    config: OptConfig
+    module: Module
+    sema: Sema
+    kernels: dict
+    source: str
+    warnings: list = field(default_factory=list)
+
+
+@dataclass
 class CompiledProgram:
     """The 'executable' the static compiler produces: IR for the CPU plus
     embedded OpenCL (here: device-lowered IR + OpenCL C text) for the GPU."""
@@ -67,11 +183,19 @@ class CompiledProgram:
     kernels: dict[str, KernelInfo]
     config: OptConfig
     source: str
-    #: Process-unique id.  The runtime's gpu_function_t cache is keyed by
-    #: ``(program_id, kernel_name)``: kernel names repeat across programs
-    #: (every workload calls its body ``operator()``), so the id keeps two
-    #: programs' JIT entries from colliding.
-    program_id: int = field(default_factory=itertools.count().__next__)
+    #: Content hash of (source, options, pass config, version salt) — the
+    #: closure stage's hash.  The runtime's gpu_function_t cache and the
+    #: vector-code memos are keyed by ``(program_id, kernel_name)``:
+    #: kernel names repeat across programs (every workload calls its body
+    #: ``operator()``), and the content hash keeps two *different*
+    #: programs' entries from ever colliding while letting two compiles
+    #: of the *same* (source, options) pair share process-wide caches —
+    #: the id is stable across processes, unlike the per-process counter
+    #: it replaced.  Direct constructions that bypass :func:`closure_stage`
+    #: get a process-unique ``anon:<n>`` fallback so they still never alias.
+    program_id: str = field(
+        default_factory=lambda: f"anon:{next(_ANON_IDS)}"
+    )
 
     def kernel_for(self, class_name: str) -> KernelInfo:
         if class_name not in self.kernels:
@@ -88,13 +212,182 @@ class CompiledProgram:
         return info
 
 
+def _span(observer, name, **attrs):
+    if observer is None:
+        return nullcontext()
+    return observer.span(name, "compile", **attrs)
+
+
+# -- stage 1: frontend ---------------------------------------------------------
+
+
+def frontend_stage(
+    source: str, module_name: str = "concord", observer=None
+) -> FrontendArtifact:
+    """Parse + semantic analysis + lowering + kernel-wrapper discovery."""
+    with _span(observer, "frontend"):
+        unit = parse(source)
+        sema = Sema(unit)
+        lowerer = UnitLowerer(sema, ir.Module(module_name))
+        module = lowerer.lower_unit()
+        # The line profiler resolves instruction locs back to source
+        # text through the module (repro.obs.lines).
+        module.source_text = source
+
+    kernels: dict[str, KernelInfo] = {}
+    for info in list(sema.classes.values()):
+        body_ops = [
+            m
+            for m in info.methods.get("operator()", ())
+            if len(m.decl.params) == 1
+        ]
+        if not body_ops or body_ops[0].ir_function is None:
+            continue
+        operator = body_ops[0]
+        joins = [
+            m for m in info.methods.get("join", ()) if len(m.decl.params) == 1
+        ]
+        construct = "reduce" if joins else "for"
+        kernel = _make_kernel_wrapper(module, info, operator.ir_function)
+        join_kernel = None
+        if joins and joins[0].ir_function is not None:
+            join_kernel = _make_join_wrapper(module, info, joins[0].ir_function)
+        kernels[info.name] = KernelInfo(
+            body_class=info,
+            kernel=kernel,
+            gpu_kernel=kernel,  # replaced after device lowering
+            join_kernel=join_kernel,
+            construct=construct,
+        )
+    return FrontendArtifact(
+        key=frontend_key(source, module_name),
+        source=source,
+        module_name=module_name,
+        module=module,
+        sema=sema,
+        kernels=kernels,
+    )
+
+
+# -- stage 2: optimization + device lowering -----------------------------------
+
+
+def pipeline_stage(
+    front: FrontendArtifact,
+    config: Optional[OptConfig] = None,
+    observer=None,
+    manager: Optional[PassManager] = None,
+) -> PipelineArtifact:
+    """Standard pipeline over every function, then device lowering per
+    kernel (on a clone, so the CPU path keeps untranslated IR — the CPU
+    dereferences CPU pointers natively)."""
+    config = config or OptConfig.gpu_all()
+    module, kernels = front.module, front.kernels
+
+    with _span(observer, "standard_pipeline"):
+        for function in list(module.functions.values()):
+            if function.blocks:
+                standard_pipeline(module, function, config, manager=manager)
+
+    from .clone import clone_function
+
+    restriction_warnings: list[str] = []
+    for kinfo in kernels.values():
+        with _span(observer, "device_lower", kernel=kinfo.kernel.name):
+            kinfo.violations = check_kernel(module, kinfo.kernel)
+            if config.device_alloc:
+                # Extension (paper future work): device-side allocation
+                # is supported through the bump allocator, so it is no
+                # longer a restriction.
+                kinfo.violations = [
+                    v for v in kinfo.violations if v.kind != "gpu-allocation"
+                ]
+            if kinfo.violations:
+                kinfo.cpu_only = True
+                details = "; ".join(str(v) for v in kinfo.violations)
+                message = (
+                    f"Concord: {kinfo.body_class.name} cannot run on the GPU "
+                    f"({details}); falling back to CPU execution"
+                )
+                restriction_warnings.append(message)
+                warnings.warn(message, ConcordWarning, stacklevel=3)
+                continue
+            gpu_kernel = clone_function(
+                module, kinfo.kernel, kinfo.kernel.name + ".gpu"
+            )
+            kernel_pipeline(
+                module, gpu_kernel, config, manager=manager, observer=observer
+            )
+            kinfo.gpu_kernel = gpu_kernel
+            if kinfo.join_kernel is not None:
+                gpu_join = clone_function(
+                    module, kinfo.join_kernel, kinfo.join_kernel.name + ".gpu"
+                )
+                kernel_pipeline(
+                    module, gpu_join, config, manager=manager, observer=observer
+                )
+                kinfo.gpu_join_kernel = gpu_join
+            else:
+                kinfo.gpu_join_kernel = None
+    return PipelineArtifact(
+        key=pipeline_key(front.key, config),
+        frontend_key=front.key,
+        config=config,
+        module=module,
+        sema=front.sema,
+        kernels=kernels,
+        source=front.source,
+        warnings=restriction_warnings,
+    )
+
+
+# -- stage 3: closure emission ---------------------------------------------------
+
+
+def closure_stage(pipe: PipelineArtifact, observer=None) -> CompiledProgram:
+    """Emit the executable closure: OpenCL C text per GPU-capable kernel
+    (plus the hierarchical reduce wrapper for reductions) and assemble
+    the :class:`CompiledProgram` whose ``program_id`` is the stage's
+    content hash."""
+    from ..codegen.opencl import emit_kernel_opencl, emit_reduce_wrapper_opencl
+    from .runtime import REDUCTION_GROUP_SIZE
+
+    with _span(observer, "codegen"):
+        for kinfo in pipe.kernels.values():
+            if kinfo.cpu_only:
+                continue
+            kinfo.opencl_source = emit_kernel_opencl(pipe.module, kinfo.gpu_kernel)
+            gpu_join = getattr(kinfo, "gpu_join_kernel", None)
+            if gpu_join is not None:
+                kinfo.reduce_wrapper_source = emit_reduce_wrapper_opencl(
+                    pipe.module,
+                    kinfo.body_class.struct_type.name,
+                    kinfo.body_class.struct_type.size(),
+                    kinfo.gpu_kernel,
+                    gpu_join,
+                    group_size=REDUCTION_GROUP_SIZE,
+                )
+    return CompiledProgram(
+        module=pipe.module,
+        sema=pipe.sema,
+        kernels=pipe.kernels,
+        config=pipe.config,
+        source=pipe.source,
+        program_id=program_key(pipe.key),
+    )
+
+
+# -- drivers -------------------------------------------------------------------
+
+
 def compile_source(
     source: str,
     config: Optional[OptConfig] = None,
     module_name: str = "concord",
     observer=None,
 ) -> CompiledProgram:
-    """Compile MiniC++ source into a :class:`CompiledProgram`.
+    """Compile MiniC++ source into a :class:`CompiledProgram` by chaining
+    the three stages in memory (no artifact store).
 
     ``observer`` (a ``repro.obs.Observer``) is optional: when attached, the
     driver brackets the frontend, the standard pipeline and the per-kernel
@@ -103,116 +396,113 @@ def compile_source(
     runs the exact pre-observability code paths.
     """
     config = config or OptConfig.gpu_all()
-
-    def span(name, **attrs):
-        if observer is None:
-            return nullcontext()
-        return observer.span(name, "compile", **attrs)
-
     manager = PassManager(verify=config.verify) if observer is not None else None
-    with span("compile", module=module_name):
-        with span("frontend"):
-            unit = parse(source)
-            sema = Sema(unit)
-            lowerer = UnitLowerer(sema, ir.Module(module_name))
-            module = lowerer.lower_unit()
-            # The line profiler resolves instruction locs back to source
-            # text through the module (repro.obs.lines).
-            module.source_text = source
-
-        kernels: dict[str, KernelInfo] = {}
-        for info in list(sema.classes.values()):
-            body_ops = [
-                m
-                for m in info.methods.get("operator()", ())
-                if len(m.decl.params) == 1
-            ]
-            if not body_ops or body_ops[0].ir_function is None:
-                continue
-            operator = body_ops[0]
-            joins = [
-                m for m in info.methods.get("join", ()) if len(m.decl.params) == 1
-            ]
-            construct = "reduce" if joins else "for"
-            kernel = _make_kernel_wrapper(module, info, operator.ir_function)
-            join_kernel = None
-            if joins and joins[0].ir_function is not None:
-                join_kernel = _make_join_wrapper(module, info, joins[0].ir_function)
-            kernels[info.name] = KernelInfo(
-                body_class=info,
-                kernel=kernel,
-                gpu_kernel=kernel,  # replaced below after device lowering
-                join_kernel=join_kernel,
-                construct=construct,
-            )
-
-        # Standard pipeline over every function with a body.
-        with span("standard_pipeline"):
-            for function in list(module.functions.values()):
-                if function.blocks:
-                    standard_pipeline(module, function, config, manager=manager)
-
-        # Device lowering per kernel (on a clone, so the CPU path keeps
-        # untranslated IR — the CPU dereferences CPU pointers natively).
-        from .clone import clone_function
-
-        for kinfo in kernels.values():
-            with span("device_lower", kernel=kinfo.kernel.name):
-                kinfo.violations = check_kernel(module, kinfo.kernel)
-                if config.device_alloc:
-                    # Extension (paper future work): device-side allocation
-                    # is supported through the bump allocator, so it is no
-                    # longer a restriction.
-                    kinfo.violations = [
-                        v for v in kinfo.violations if v.kind != "gpu-allocation"
-                    ]
-                if kinfo.violations:
-                    kinfo.cpu_only = True
-                    details = "; ".join(str(v) for v in kinfo.violations)
-                    warnings.warn(
-                        f"Concord: {kinfo.body_class.name} cannot run on the GPU "
-                        f"({details}); falling back to CPU execution",
-                        ConcordWarning,
-                        stacklevel=2,
-                    )
-                    continue
-                gpu_kernel = clone_function(
-                    module, kinfo.kernel, kinfo.kernel.name + ".gpu"
-                )
-                kernel_pipeline(
-                    module, gpu_kernel, config, manager=manager, observer=observer
-                )
-                kinfo.gpu_kernel = gpu_kernel
-                from ..codegen.opencl import emit_kernel_opencl
-
-                kinfo.opencl_source = emit_kernel_opencl(module, gpu_kernel)
-                if kinfo.join_kernel is not None:
-                    gpu_join = clone_function(
-                        module, kinfo.join_kernel, kinfo.join_kernel.name + ".gpu"
-                    )
-                    kernel_pipeline(
-                        module, gpu_join, config, manager=manager, observer=observer
-                    )
-                    kinfo.gpu_join_kernel = gpu_join
-                    from ..codegen.opencl import emit_reduce_wrapper_opencl
-                    from .runtime import REDUCTION_GROUP_SIZE
-
-                    kinfo.reduce_wrapper_source = emit_reduce_wrapper_opencl(
-                        module,
-                        kinfo.body_class.struct_type.name,
-                        kinfo.body_class.struct_type.size(),
-                        gpu_kernel,
-                        gpu_join,
-                        group_size=REDUCTION_GROUP_SIZE,
-                    )
-                else:
-                    kinfo.gpu_join_kernel = None
-
+    with _span(observer, "compile", module=module_name):
+        front = frontend_stage(source, module_name, observer=observer)
+        pipe = pipeline_stage(front, config, observer=observer, manager=manager)
+        program = closure_stage(pipe, observer=observer)
     if observer is not None:
         observer.record_pass_stats(manager.stats.values())
-    return CompiledProgram(
-        module=module, sema=sema, kernels=kernels, config=config, source=source
-    )
+    return program
+
+
+def compile_cached(
+    source: str,
+    config: Optional[OptConfig] = None,
+    module_name: str = "concord",
+    store=None,
+    observer=None,
+) -> tuple:
+    """Staged compilation through an artifact store.
+
+    ``store`` is anything with ``get(kind, key) -> object | None`` and
+    ``put(kind, key, obj)`` (canonically a
+    :class:`repro.service.ArtifactStore`); ``None`` degenerates to
+    :func:`compile_source`.  Returns ``(program, stages)`` where
+    ``stages`` maps each stage name to ``"hit"`` or ``"miss"`` — a fully
+    warm store answers from the ``closure`` artifact alone and skips the
+    frontend, the pipeline and the codegen work entirely.
+
+    Every run of the returned program is bit-identical to one compiled
+    monolithically: artifacts are snapshots of the exact objects the
+    in-memory pipeline produces (the compile-cache fuzz oracle and
+    ``tests/test_staged_compile.py`` hold it to that bar).
+    """
+    config = config or OptConfig.gpu_all()
+    if store is None:
+        return (
+            compile_source(source, config, module_name, observer=observer),
+            {"frontend": "miss", "pipeline": "miss", "closure": "miss"},
+        )
+    counters = observer.counters if observer is not None else None
+
+    def note(stage: str, outcome: str) -> None:
+        if counters is not None:
+            counters.add(f"service.{stage}_{outcome}s" if outcome == "hit"
+                         else f"service.{stage}_{outcome}es")
+
+    stages = {}
+    fkey = frontend_key(source, module_name)
+    pkey = pipeline_key(fkey, config)
+    ckey = program_key(pkey)
+
+    manager = PassManager(verify=config.verify) if observer is not None else None
+    with _span(observer, "compile", module=module_name):
+        program = store.get("closure", ckey)
+        if program is not None:
+            stages = {"frontend": "hit", "pipeline": "hit", "closure": "hit"}
+            for stage in stages:
+                note(stage, "hit")
+            _replay_restriction_warnings(program)
+            return program, stages
+
+        note("closure", "miss")
+        stages["closure"] = "miss"
+        pipe = store.get("pipeline", pkey)
+        if pipe is not None:
+            stages["frontend"] = stages["pipeline"] = "hit"
+            note("frontend", "hit")
+            note("pipeline", "hit")
+            for message in pipe.warnings:
+                warnings.warn(message, ConcordWarning, stacklevel=2)
+        else:
+            note("pipeline", "miss")
+            stages["pipeline"] = "miss"
+            front = store.get("frontend", fkey)
+            if front is not None:
+                stages["frontend"] = "hit"
+                note("frontend", "hit")
+            else:
+                note("frontend", "miss")
+                stages["frontend"] = "miss"
+                front = frontend_stage(source, module_name, observer=observer)
+                store.put("frontend", fkey, front)
+            pipe = pipeline_stage(
+                front, config, observer=observer, manager=manager
+            )
+            store.put("pipeline", pkey, pipe)
+        program = closure_stage(pipe, observer=observer)
+        store.put("closure", ckey, program)
+    if observer is not None and manager is not None:
+        observer.record_pass_stats(manager.stats.values())
+    return program, stages
+
+
+def _replay_restriction_warnings(program: CompiledProgram) -> None:
+    """A store hit must behave like a compile: CPU-only kernels warned at
+    compile time, so they warn on every warm load too."""
+    for kinfo in program.kernels.values():
+        if kinfo.cpu_only and kinfo.violations:
+            details = "; ".join(str(v) for v in kinfo.violations)
+            warnings.warn(
+                f"Concord: {kinfo.body_class.name} cannot run on the GPU "
+                f"({details}); falling back to CPU execution",
+                ConcordWarning,
+                stacklevel=3,
+            )
+
+
+# -- kernel wrappers -----------------------------------------------------------
 
 
 def _first_loc(function: Function):

@@ -1,0 +1,27 @@
+"""The persistent compile service (``python -m repro serve``).
+
+Three pieces (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.store` — the content-addressed on-disk
+  :class:`ArtifactStore` every compilation stage caches into;
+* :mod:`repro.service.daemon` — the HTTP daemon (:class:`CompileService`
+  handlers + :func:`serve`) and its :class:`ServiceClient`;
+* :mod:`repro.service.loadgen` — the synthetic many-client load
+  generator behind ``repro serve --selftest`` and the service-smoke CI
+  job.
+"""
+
+from .daemon import CompileService, ServiceClient, serve
+from .loadgen import generate_sources, render_report, run_load, validate_report
+from .store import ArtifactStore
+
+__all__ = [
+    "ArtifactStore",
+    "CompileService",
+    "ServiceClient",
+    "generate_sources",
+    "render_report",
+    "run_load",
+    "serve",
+    "validate_report",
+]
